@@ -1,0 +1,57 @@
+"""Figures 1, 9 and 10: the case-study traces.
+
+* Figure 1: an IMU (accelerometer) failure at the end of the landing
+  triggers the GPS fail-safe and the vehicle crashes.
+* Figure 9 (APM-16021): an accelerometer fault late in the takeoff climb
+  causes an overshoot, an overcorrection, and a crash.
+* Figure 10 (APM-16967): a compass failure between waypoints causes the
+  land fail-safe to engage and the vehicle to crash near the ground.
+
+Each benchmark prints the golden and fault-injected altitude series (the
+data behind the published plots) and asserts the qualitative shape: the
+golden run lands safely, the faulted run ends in an unsafe condition of
+the published kind.
+"""
+
+from repro.analysis import case_study_apm16021, case_study_apm16967, case_study_figure1
+
+
+def _print_series(capsys, title, case):
+    with capsys.disabled():
+        print(f"\n\n{title}")
+        print(f"  golden run:  peak {case.golden.peak_altitude:5.1f} m, "
+              f"final {case.golden.final_altitude:5.1f} m, "
+              f"duration {case.golden.times[-1]:5.1f} s")
+        print(f"  faulted run: peak {case.faulted.peak_altitude:5.1f} m, "
+              f"final {case.faulted.final_altitude:5.1f} m, "
+              f"duration {case.faulted.times[-1]:5.1f} s")
+        print(f"  injected:    {case.faulted_run.scenario.describe()}")
+        print(f"  violations:  {[c.kind.value for c in case.faulted_run.unsafe_conditions]}")
+        print(f"  root cause:  {case.faulted_run.triggered_bugs}")
+
+
+def test_figure1_landing_imu_failure(benchmark, capsys):
+    case = benchmark.pedantic(case_study_figure1, rounds=1, iterations=1)
+    _print_series(capsys, "Figure 1 -- IMU failure at the end of the landing:", case)
+    assert not case.golden_run.found_unsafe_condition
+    assert case.unsafe
+    assert case.crashed
+    assert "APM-16682" in case.faulted_run.triggered_bugs
+
+
+def test_figure9_apm16021_takeoff_overshoot(benchmark, capsys):
+    case = benchmark.pedantic(case_study_apm16021, rounds=1, iterations=1)
+    _print_series(capsys, "Figure 9 -- APM-16021 accelerometer fault during takeoff:", case)
+    assert case.unsafe
+    assert "APM-16021" in case.faulted_run.triggered_bugs
+    # The faulted run overshoots the 20 m target before things go wrong.
+    assert case.faulted.peak_altitude > case.golden.peak_altitude + 1.0
+
+
+def test_figure10_apm16967_compass_failure(benchmark, capsys):
+    case = benchmark.pedantic(case_study_apm16967, rounds=1, iterations=1)
+    _print_series(capsys, "Figure 10 -- APM-16967 compass failure between waypoints:", case)
+    assert case.unsafe
+    assert "APM-16967" in case.faulted_run.triggered_bugs
+    # The run is cut short relative to the golden run (crash / abort).
+    assert case.faulted_run.duration_s < case.golden_run.duration_s + 1.0

@@ -1,0 +1,22 @@
+"""Figure 3 and Findings 1-3: the bug-study statistics."""
+
+from repro.bugstudy import build_dataset, summarize
+from repro.core.report import format_table
+
+
+def test_figure3_bug_study(benchmark, capsys):
+    summary = benchmark(lambda: summarize(build_dataset()))
+    with capsys.disabled():
+        print("\n\nFigure 3(A) -- bugs per root cause (paper: semantic 68%, sensor 20%):")
+        print(format_table(["root cause", "count"], summary.figure3a_rows()))
+        print("Figure 3(B) -- sensor-bug reproducibility (paper: 47% default settings):")
+        print(format_table(["conditions", "count"], summary.figure3b_rows()))
+        print("Figure 3(C) -- sensor-bug outcomes (paper: ~34% crash/fly-away):")
+        print(format_table(["outcome", "count"], summary.figure3c_rows()))
+    assert summary.total_bugs == 215
+    assert abs(summary.root_cause_shares["sensor"] - 0.20) < 0.02
+    assert abs(summary.root_cause_shares["semantic"] - 0.68) < 0.02
+    assert abs(summary.sensor_share_of_serious - 0.40) < 0.03
+    assert abs(summary.sensor_default_reproducible_share - 0.47) < 0.02
+    assert abs(summary.sensor_serious_share - 0.34) < 0.02
+    assert abs(summary.semantic_asymptomatic_share - 0.90) < 0.02

@@ -1,0 +1,30 @@
+"""Figures 5 and 6: search orders and sensor-instance-symmetry pruning."""
+
+from repro.analysis import figure5_search_orders, figure6_pruning_counts
+from repro.core.report import format_table
+
+
+def test_figure5_search_orders(benchmark, capsys):
+    orders = benchmark(figure5_search_orders)
+    with capsys.disabled():
+        print("\n\nFigure 5 -- first scenarios explored on the toy fault space:")
+        for strategy, order in orders.items():
+            print(f"  {strategy}:")
+            for scenario in order:
+                print(f"    {scenario}")
+    # DFS varies the end of the run first; BFS fails sensors for the whole
+    # run first; SABRE goes straight to the mode transitions (t1, t2, t4).
+    assert "t5" in orders["depth-first"][1]
+    assert "t1" in orders["breadth-first"][1]
+    assert orders["sabre"][0].endswith("t1")
+    assert any("t4" in scenario for scenario in orders["sabre"])
+
+
+def test_figure6_symmetry_pruning(benchmark, capsys):
+    rows = benchmark(figure6_pruning_counts)
+    with capsys.disabled():
+        print("\n\nFigure 6 -- sensor-instance symmetry (paper example: 3 compasses, 21 -> 5):")
+        print(format_table(["instances", "without pruning", "with symmetry pruning"], rows))
+    counts = {row[0]: (row[1], row[2]) for row in rows}
+    assert counts[3] == (21, 5)
+    assert all(pruned <= unpruned for unpruned, pruned in counts.values())

@@ -1,0 +1,20 @@
+"""Table I: distinguishing features of the fault-injection approaches."""
+
+from repro.analysis import table1_feature_matrix
+from repro.core.report import format_table
+
+
+def test_table1_feature_matrix(benchmark, capsys):
+    rows = benchmark(table1_feature_matrix)
+    table = format_table(
+        ["approach", "targets transitions", "prior bugs", "dissimilar first"], rows
+    )
+    with capsys.disabled():
+        print("\n\nTable I -- distinguishing features of the approaches:")
+        print(table)
+    matrix = {row[0]: row[1:] for row in rows}
+    # The paper's check-mark pattern.
+    assert matrix["avis"] == ("yes", "yes", "yes")
+    assert matrix["stratified-bfi"] == ("no", "yes", "yes")
+    assert matrix["bfi"] == ("no", "yes", "no")
+    assert matrix["random"] == ("no", "no", "yes")

@@ -1,0 +1,75 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (see DESIGN.md for the index).  The campaigns are scaled down
+from the paper's two-hour budgets to simulation budgets that finish in
+CI time; EXPERIMENTS.md records the measured numbers next to the
+published ones.
+
+The shared ``evaluation_campaigns`` fixture runs the Table III / Table IV
+campaign matrix once per benchmark session so the individual benchmarks
+only format and check their slice of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.avis import Avis, CampaignResult
+from repro.core.config import RunConfiguration
+from repro.core.strategies import (
+    AvisStrategy,
+    BayesianFaultInjection,
+    RandomInjection,
+    StratifiedBFI,
+)
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.firmware.px4 import Px4Firmware
+from repro.workloads.builtin import WaypointFenceWorkload
+
+#: Budget (in simulation-equivalent units) per approach per firmware.
+CAMPAIGN_BUDGET_UNITS = 60.0
+#: Workload scale used by the campaign benchmarks (smaller than the
+#: paper's 20 m box so a full campaign matrix stays under a few minutes).
+CAMPAIGN_ALTITUDE = 15.0
+CAMPAIGN_BOX_SIDE = 15.0
+
+
+def build_config(firmware_class, **kwargs) -> RunConfiguration:
+    """A campaign configuration for one firmware flavour."""
+    return RunConfiguration(
+        firmware_class=firmware_class,
+        workload_factory=lambda: WaypointFenceWorkload(
+            altitude=CAMPAIGN_ALTITUDE, box_side=CAMPAIGN_BOX_SIDE
+        ),
+        **kwargs,
+    )
+
+
+def strategy_set():
+    """The four approaches of Table I/III in presentation order."""
+    return [
+        AvisStrategy(),
+        StratifiedBFI(),
+        BayesianFaultInjection(),
+        RandomInjection(),
+    ]
+
+
+@pytest.fixture(scope="session")
+def evaluation_campaigns() -> Dict[Tuple[str, str], CampaignResult]:
+    """Campaign results keyed by (firmware, strategy name).
+
+    This is the shared data behind the Table II / III / IV benchmarks.
+    """
+    results: Dict[Tuple[str, str], CampaignResult] = {}
+    for firmware_class in (ArduPilotFirmware, Px4Firmware):
+        config = build_config(firmware_class)
+        avis = Avis(config, profiling_runs=2, budget_units=CAMPAIGN_BUDGET_UNITS)
+        avis.profile()
+        for strategy in strategy_set():
+            campaign = avis.check(strategy=strategy)
+            results[(firmware_class.name, strategy.name)] = campaign
+    return results

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: check ArduPilot's Figure 8 workload with Avis.
+
+This is the smallest end-to-end use of the library:
+
+1. build a run configuration (firmware flavour + workload + environment),
+2. let Avis profile the fault-free mission and calibrate its invariant
+   monitor,
+3. run a small SABRE campaign, and
+4. print a detailed report for the first unsafe scenario found.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Avis, RunConfiguration
+from repro.core.report import unsafe_condition_report
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.workloads.builtin import AutoWorkload
+
+
+def main() -> None:
+    config = RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: AutoWorkload(altitude=15.0),
+    )
+    avis = Avis(config, profiling_runs=2, budget_units=25)
+
+    print("Profiling the fault-free mission ...")
+    profiles = avis.profile()
+    print(f"  mission duration: {profiles[0].duration_s:.1f} s")
+    print(f"  operating modes:  {[t.label for t in profiles[0].mode_transitions]}")
+    print(f"  liveliness calibration: {avis.monitor.liveliness.calibration.describe()}")
+    print()
+
+    print("Running a SABRE campaign (25 simulation budget) ...")
+    campaign = avis.check()
+    print(f"  simulations executed:      {campaign.simulations}")
+    print(f"  unsafe scenarios found:    {campaign.unsafe_scenario_count}")
+    print(f"  root-cause bugs implicated: {sorted(campaign.triggered_bug_ids)}")
+    print()
+
+    if campaign.unsafe_results:
+        print("Detailed report for the first unsafe scenario:")
+        print(unsafe_condition_report(campaign.unsafe_results[0]))
+    else:
+        print("No unsafe scenario found within this small budget; try a larger one.")
+
+
+if __name__ == "__main__":
+    main()

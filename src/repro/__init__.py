@@ -1,0 +1,54 @@
+"""repro: a reproduction of "Avis: In-Situ Model Checking for UAVs" (DSN 2021).
+
+The package is organised as the paper's system plus every substrate it
+depends on:
+
+* :mod:`repro.sim` -- the flight simulator (vehicle dynamics, environment).
+* :mod:`repro.sensors` -- sensor models with redundancy and clean failures.
+* :mod:`repro.hinj` -- the ``libhinj`` equivalent (driver instrumentation,
+  fault scheduling, mode-transition reporting).
+* :mod:`repro.mavlink` -- the MAVLink-like ground-control protocol.
+* :mod:`repro.firmware` -- ArduPilot- and PX4-flavoured control firmware,
+  including the latent and re-insertable sensor bugs the evaluation uses.
+* :mod:`repro.workloads` -- the workload framework and default workloads.
+* :mod:`repro.core` -- Avis itself: SABRE, pruning, the invariant monitor,
+  the baseline strategies, replay and reporting.
+* :mod:`repro.bugstudy` -- the Section III bug-study dataset and analysis.
+* :mod:`repro.analysis` -- figure/table regeneration helpers.
+
+Quickstart::
+
+    from repro import Avis, RunConfiguration
+    from repro.firmware import ArduPilotFirmware
+    from repro.workloads import AutoWorkload
+
+    config = RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: AutoWorkload(altitude=15.0),
+    )
+    avis = Avis(config, budget_units=30)
+    campaign = avis.check()
+    for run in campaign.unsafe_results:
+        print(run.summary())
+"""
+
+from repro.core.avis import Avis, CampaignResult
+from repro.core.config import RunConfiguration
+from repro.core.monitor import InvariantMonitor, UnsafeCondition
+from repro.core.runner import RunResult, TestRunner
+from repro.hinj.faults import FaultScenario, FaultSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Avis",
+    "CampaignResult",
+    "FaultScenario",
+    "FaultSpec",
+    "InvariantMonitor",
+    "RunConfiguration",
+    "RunResult",
+    "TestRunner",
+    "UnsafeCondition",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Analysis helpers shared by the benchmarks and the examples.
+
+Each helper regenerates the data behind one of the paper's figures; the
+benchmark harnesses print the resulting rows/series and EXPERIMENTS.md
+records how they compare with the published ones.
+"""
+
+from repro.analysis.figures import (
+    AltitudeTrace,
+    CaseStudyTraces,
+    case_study_apm16021,
+    case_study_apm16967,
+    case_study_figure1,
+    figure5_search_orders,
+    figure6_pruning_counts,
+    table1_feature_matrix,
+)
+
+__all__ = [
+    "AltitudeTrace",
+    "CaseStudyTraces",
+    "case_study_apm16021",
+    "case_study_apm16967",
+    "case_study_figure1",
+    "figure5_search_orders",
+    "figure6_pruning_counts",
+    "table1_feature_matrix",
+]

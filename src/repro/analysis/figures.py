@@ -1,0 +1,251 @@
+"""Regeneration of the paper's figures from the reproduction.
+
+* Figures 1, 9 and 10 are altitude-over-time traces of specific case
+  studies (the golden run against the fault-injected run).
+* Figure 5 illustrates the fault-space search orders of DFS, BFS and
+  SABRE on a two-sensor, five-time-step toy space.
+* Figure 6 is the sensor-instance-symmetry arithmetic (21 -> 5 checks for
+  three compasses).
+* Table I is the qualitative feature matrix of the approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import RunConfiguration
+from repro.core.pruning import symmetric_fault_count, unpruned_fault_count
+from repro.core.runner import RunResult, TestRunner
+from repro.core.strategies import (
+    AvisStrategy,
+    BayesianFaultInjection,
+    BreadthFirstSearch,
+    DepthFirstSearch,
+    RandomInjection,
+    SearchStrategy,
+    StratifiedBFI,
+)
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.sensors.base import SensorId, SensorType
+from repro.workloads.builtin import AutoWorkload, WaypointFenceWorkload
+
+
+@dataclass
+class AltitudeTrace:
+    """An altitude-over-time series extracted from one run."""
+
+    label: str
+    times: List[float]
+    altitudes: List[float]
+
+    @property
+    def peak_altitude(self) -> float:
+        """The maximum altitude reached."""
+        return max(self.altitudes) if self.altitudes else 0.0
+
+    @property
+    def final_altitude(self) -> float:
+        """The altitude at the end of the (possibly aborted) run."""
+        return self.altitudes[-1] if self.altitudes else 0.0
+
+
+@dataclass
+class CaseStudyTraces:
+    """Golden-vs-faulted traces plus the run results behind them."""
+
+    golden: AltitudeTrace
+    faulted: AltitudeTrace
+    golden_run: RunResult
+    faulted_run: RunResult
+
+    @property
+    def unsafe(self) -> bool:
+        """True when the faulted run produced an unsafe condition."""
+        return self.faulted_run.found_unsafe_condition
+
+    @property
+    def crashed(self) -> bool:
+        """True when the faulted run ended in a recorded collision."""
+        return bool(self.faulted_run.collisions)
+
+
+def _altitude_trace(label: str, result: RunResult) -> AltitudeTrace:
+    return AltitudeTrace(
+        label=label,
+        times=[sample.time for sample in result.trace],
+        altitudes=[sample.altitude for sample in result.trace],
+    )
+
+
+def _run_case_study(
+    config: RunConfiguration, scenario: FaultScenario
+) -> CaseStudyTraces:
+    """Run the golden and faulted variants of one case study."""
+    from repro.core.avis import Avis
+
+    avis = Avis(config, profiling_runs=2)
+    golden = avis.profiling_results[0]
+    runner = TestRunner(config, monitor=avis.monitor)
+    faulted = runner.run(scenario)
+    return CaseStudyTraces(
+        golden=_altitude_trace("golden run", golden),
+        faulted=_altitude_trace("fault-injected run", faulted),
+        golden_run=golden,
+        faulted_run=faulted,
+    )
+
+
+def _transition_time(result: RunResult, label: str, default: float) -> float:
+    for transition in result.mode_transitions:
+        if transition.label == label:
+            return transition.time
+    return default
+
+
+def case_study_figure1(altitude: float = 20.0) -> CaseStudyTraces:
+    """Figure 1: an IMU failure at the end of the landing causes a crash.
+
+    The accelerometer is failed just as the return-to-launch descent hands
+    over to the landing mode; the firmware falls back to GPS-driven
+    altitude whose reference is far too coarse near the ground.
+    """
+    config = RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: WaypointFenceWorkload(altitude=altitude),
+    )
+    golden_runner = TestRunner(config)
+    golden = golden_runner.run()
+    land_time = _transition_time(golden, "land", default=golden.duration_s * 0.7)
+    scenario = FaultScenario(
+        [FaultSpec(SensorId(SensorType.ACCELEROMETER, 0), land_time)]
+    )
+    return _run_case_study(config, scenario)
+
+
+def case_study_apm16021(altitude: float = 20.0) -> CaseStudyTraces:
+    """Figure 9: an accelerometer fault late in the takeoff climb.
+
+    The vehicle overshoots the target altitude, the firmware overcorrects
+    into a landing against a stale, too-high altitude model, and the
+    vehicle hits the ground.
+    """
+    config = RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: AutoWorkload(altitude=altitude),
+    )
+    golden_runner = TestRunner(config)
+    golden = golden_runner.run()
+    takeoff_time = _transition_time(golden, "takeoff", default=3.0)
+    # Inject the fault late in the climb (about 90 % of the way up, the
+    # paper's case study injects at 18 m of a 20 m climb).
+    climb_duration = 0.0
+    for sample in golden.trace:
+        if sample.altitude >= altitude * 0.9:
+            climb_duration = sample.time - takeoff_time
+            break
+    injection_time = takeoff_time + max(climb_duration, 1.0)
+    scenario = FaultScenario(
+        [FaultSpec(SensorId(SensorType.ACCELEROMETER, 0), injection_time)]
+    )
+    return _run_case_study(config, scenario)
+
+
+def case_study_apm16967(altitude: float = 20.0) -> CaseStudyTraces:
+    """Figure 10: a compass failure between waypoints.
+
+    The firmware navigates on an old heading, the land fail-safe engages,
+    and the state-estimate reset near the end of the landing causes a
+    crash.
+    """
+    config = RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: WaypointFenceWorkload(altitude=altitude),
+    )
+    golden_runner = TestRunner(config)
+    golden = golden_runner.run()
+    waypoint_time = _transition_time(golden, "waypoint-2", default=golden.duration_s * 0.4)
+    scenario = FaultScenario(
+        [FaultSpec(SensorId(SensorType.COMPASS, 0), waypoint_time + 1.0)]
+    )
+    return _run_case_study(config, scenario)
+
+
+# ----------------------------------------------------------------------
+# Figure 5: search orders on the toy fault space
+# ----------------------------------------------------------------------
+def figure5_search_orders(
+    time_steps: int = 5, scenarios_per_strategy: int = 8
+) -> Dict[str, List[str]]:
+    """The first few scenarios explored by DFS, BFS and SABRE.
+
+    The toy space matches Figure 5: two sensors (GPS and barometer) and
+    ``time_steps`` injection times; SABRE's order assumes transitions at
+    t1, t2 and t4 as in the figure.
+    """
+    gps = SensorId(SensorType.GPS, 0)
+    baro = SensorId(SensorType.BAROMETER, 0)
+    times = [float(index + 1) for index in range(time_steps)]
+
+    def render(scenario: FaultScenario) -> str:
+        if scenario.is_empty:
+            return "<no faults>"
+        return "; ".join(
+            f"{fault.sensor_id.sensor_type.value}@t{int(fault.start_time)}"
+            for fault in scenario
+        )
+
+    orders: Dict[str, List[str]] = {}
+    dfs = list(DepthFirstSearch.enumerate_scenarios([gps, baro], times))
+    bfs = list(BreadthFirstSearch.enumerate_scenarios([gps, baro], times))
+    orders["depth-first"] = [render(s) for s in dfs[:scenarios_per_strategy]]
+    orders["breadth-first"] = [render(s) for s in bfs[:scenarios_per_strategy]]
+
+    # SABRE on the toy space: transitions at t1, t2 and t4 (Figure 5).
+    transition_times = [1.0, 2.0, 4.0]
+    sabre_order: List[str] = []
+    subsets = [(gps,), (baro,), (gps, baro)]
+    for time in transition_times:
+        for subset in subsets:
+            scenario = FaultScenario(FaultSpec(sensor, time) for sensor in subset)
+            sabre_order.append(render(scenario))
+            if len(sabre_order) >= scenarios_per_strategy:
+                break
+        if len(sabre_order) >= scenarios_per_strategy:
+            break
+    orders["sabre"] = sabre_order
+    return orders
+
+
+# ----------------------------------------------------------------------
+# Figure 6: sensor-instance symmetry arithmetic
+# ----------------------------------------------------------------------
+def figure6_pruning_counts(max_instances: int = 5) -> List[Tuple[int, int, int]]:
+    """Rows of (instance count, unpruned checks, symmetric checks).
+
+    For three compasses the row reads (3, 21, 5), the numbers quoted in
+    the paper's Figure 6 discussion.
+    """
+    return [
+        (count, unpruned_fault_count(count), symmetric_fault_count(count))
+        for count in range(1, max_instances + 1)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Table I: qualitative feature matrix
+# ----------------------------------------------------------------------
+def table1_feature_matrix() -> List[Tuple[str, str, str, str]]:
+    """Rows of (approach, targets transitions, prior bugs, dissimilar first)."""
+    strategies: Sequence[SearchStrategy] = (
+        AvisStrategy(),
+        StratifiedBFI(),
+        BayesianFaultInjection(),
+        RandomInjection(),
+    )
+    rows = []
+    for strategy in strategies:
+        features = strategy.features.as_row()
+        rows.append((strategy.name, features[0], features[1], features[2]))
+    return rows

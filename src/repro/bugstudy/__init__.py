@@ -1,0 +1,43 @@
+"""The Section III bug study: dataset and analysis.
+
+The paper reviews 394 bug reports from the public ArduPilot and PX4
+GitHub repositories (2016-2019), prunes them to 215 analysable bugs and
+classifies them by root cause, reproducibility and symptom.  We do not
+have the authors' spreadsheet, so :mod:`repro.bugstudy.dataset`
+reconstructs a per-bug dataset whose aggregate statistics match every
+number the paper reports (Findings 1-3 and Figure 3), and
+:mod:`repro.bugstudy.analysis` recomputes those statistics from the
+per-bug records -- which is what the Figure 3 benchmark regenerates.
+"""
+
+from repro.bugstudy.analysis import (
+    BugStudySummary,
+    finding1_sensor_bug_share,
+    finding2_reproducibility,
+    finding3_severity,
+    summarize,
+)
+from repro.bugstudy.dataset import (
+    BugRecord,
+    BugReview,
+    Reproducibility,
+    RootCause,
+    Symptom,
+    build_dataset,
+    build_review,
+)
+
+__all__ = [
+    "BugRecord",
+    "BugReview",
+    "BugStudySummary",
+    "Reproducibility",
+    "RootCause",
+    "Symptom",
+    "build_dataset",
+    "build_review",
+    "finding1_sensor_bug_share",
+    "finding2_reproducibility",
+    "finding3_severity",
+    "summarize",
+]

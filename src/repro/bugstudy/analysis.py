@@ -1,0 +1,127 @@
+"""Analysis of the bug-study dataset: Findings 1-3 and Figure 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bugstudy.dataset import (
+    BugRecord,
+    Reproducibility,
+    RootCause,
+    Symptom,
+    build_dataset,
+)
+
+
+@dataclass(frozen=True)
+class BugStudySummary:
+    """Aggregate statistics recomputed from the per-bug records."""
+
+    total_bugs: int
+    root_cause_counts: Dict[str, int]
+    root_cause_shares: Dict[str, float]
+    sensor_share_of_serious: float
+    sensor_reproducibility_counts: Dict[str, int]
+    sensor_default_reproducible_share: float
+    sensor_symptom_counts: Dict[str, int]
+    sensor_serious_share: float
+    semantic_asymptomatic_share: float
+
+    def figure3a_rows(self) -> List[tuple]:
+        """Rows of Figure 3(A): bug counts per root-cause type."""
+        return sorted(self.root_cause_counts.items())
+
+    def figure3b_rows(self) -> List[tuple]:
+        """Rows of Figure 3(B): sensor-bug reproducibility."""
+        return sorted(self.sensor_reproducibility_counts.items())
+
+    def figure3c_rows(self) -> List[tuple]:
+        """Rows of Figure 3(C): sensor-bug outcomes."""
+        return sorted(self.sensor_symptom_counts.items())
+
+
+def _records(records: Optional[Sequence[BugRecord]]) -> List[BugRecord]:
+    return list(records) if records is not None else build_dataset()
+
+
+def finding1_sensor_bug_share(records: Optional[Sequence[BugRecord]] = None) -> Dict[str, float]:
+    """Finding 1: sensor bugs are ~20 % of bugs, ~40 % of crash bugs."""
+    bugs = _records(records)
+    total = len(bugs)
+    sensor = [bug for bug in bugs if bug.root_cause == RootCause.SENSOR]
+    serious = [bug for bug in bugs if bug.is_serious]
+    serious_sensor = [bug for bug in serious if bug.root_cause == RootCause.SENSOR]
+    return {
+        "sensor_share_of_all_bugs": len(sensor) / total,
+        "semantic_share_of_all_bugs": sum(
+            1 for bug in bugs if bug.root_cause == RootCause.SEMANTIC
+        )
+        / total,
+        "sensor_share_of_serious_bugs": len(serious_sensor) / max(len(serious), 1),
+    }
+
+
+def finding2_reproducibility(records: Optional[Sequence[BugRecord]] = None) -> Dict[str, float]:
+    """Finding 2: ~47 % of sensor bugs reproduce under default settings."""
+    sensor_bugs = [bug for bug in _records(records) if bug.root_cause == RootCause.SENSOR]
+    default = [
+        bug
+        for bug in sensor_bugs
+        if bug.reproducibility == Reproducibility.DEFAULT_SETTINGS
+    ]
+    return {
+        "sensor_bug_count": float(len(sensor_bugs)),
+        "default_reproducible_share": len(default) / max(len(sensor_bugs), 1),
+    }
+
+
+def finding3_severity(records: Optional[Sequence[BugRecord]] = None) -> Dict[str, float]:
+    """Finding 3: ~34 % of sensor bugs have serious symptoms."""
+    bugs = _records(records)
+    sensor_bugs = [bug for bug in bugs if bug.root_cause == RootCause.SENSOR]
+    semantic_bugs = [bug for bug in bugs if bug.root_cause == RootCause.SEMANTIC]
+    serious_sensor = [bug for bug in sensor_bugs if bug.is_serious]
+    asymptomatic_semantic = [
+        bug for bug in semantic_bugs if bug.symptom == Symptom.NO_SYMPTOMS
+    ]
+    return {
+        "sensor_serious_share": len(serious_sensor) / max(len(sensor_bugs), 1),
+        "semantic_asymptomatic_share": len(asymptomatic_semantic)
+        / max(len(semantic_bugs), 1),
+    }
+
+
+def summarize(records: Optional[Sequence[BugRecord]] = None) -> BugStudySummary:
+    """Recompute every Figure 3 / Finding statistic from the records."""
+    bugs = _records(records)
+    total = len(bugs)
+    root_cause_counts = {
+        cause.value: sum(1 for bug in bugs if bug.root_cause == cause)
+        for cause in RootCause
+    }
+    sensor_bugs = [bug for bug in bugs if bug.root_cause == RootCause.SENSOR]
+    finding1 = finding1_sensor_bug_share(bugs)
+    finding2 = finding2_reproducibility(bugs)
+    finding3 = finding3_severity(bugs)
+    return BugStudySummary(
+        total_bugs=total,
+        root_cause_counts=root_cause_counts,
+        root_cause_shares={
+            cause: count / total for cause, count in root_cause_counts.items()
+        },
+        sensor_share_of_serious=finding1["sensor_share_of_serious_bugs"],
+        sensor_reproducibility_counts={
+            reproducibility.value: sum(
+                1 for bug in sensor_bugs if bug.reproducibility == reproducibility
+            )
+            for reproducibility in Reproducibility
+        },
+        sensor_default_reproducible_share=finding2["default_reproducible_share"],
+        sensor_symptom_counts={
+            symptom.value: sum(1 for bug in sensor_bugs if bug.symptom == symptom)
+            for symptom in Symptom
+        },
+        sensor_serious_share=finding3["sensor_serious_share"],
+        semantic_asymptomatic_share=finding3["semantic_asymptomatic_share"],
+    )

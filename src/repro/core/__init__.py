@@ -1,0 +1,55 @@
+"""Avis: the in-situ model checker (the paper's contribution).
+
+The core package ties the substrates together into the system shown in
+Figure 4 of the paper:
+
+* :mod:`repro.core.runner` provisions a fresh simulator + firmware +
+  ground-control station per test, executes a workload under a fault
+  scenario, and records everything the invariant monitor and the search
+  strategies need.
+* :mod:`repro.core.modegraph`, :mod:`repro.core.liveliness`,
+  :mod:`repro.core.safety` and :mod:`repro.core.monitor` implement the
+  invariant monitor (Section IV-C): the safety rule, the liveliness rule
+  with the mode-graph state distance, and the safe-mode escape hatch.
+* :mod:`repro.core.sabre` and :mod:`repro.core.pruning` implement the
+  SABRE stratified search (Algorithm 1) and the two redundancy
+  elimination policies.
+* :mod:`repro.core.strategies` implements the competing approaches of
+  Table I (random injection, depth-first / breadth-first exhaustive
+  search, Bayesian Fault Injection, and Stratified BFI).
+* :mod:`repro.core.avis` is the user-facing campaign orchestrator, and
+  :mod:`repro.core.replay` re-executes recorded bug scenarios.
+"""
+
+from repro.core.avis import Avis, CampaignResult
+from repro.core.config import RunConfiguration
+from repro.core.monitor import InvariantMonitor, UnsafeCondition, UnsafeConditionKind
+from repro.core.runner import RunResult, SimulationHarness, TestRunner
+from repro.core.sabre import SabreSearch
+from repro.core.strategies import (
+    BayesianFaultInjection,
+    BreadthFirstSearch,
+    DepthFirstSearch,
+    RandomInjection,
+    SearchStrategy,
+    StratifiedBFI,
+)
+
+__all__ = [
+    "Avis",
+    "BayesianFaultInjection",
+    "BreadthFirstSearch",
+    "CampaignResult",
+    "DepthFirstSearch",
+    "InvariantMonitor",
+    "RandomInjection",
+    "RunConfiguration",
+    "RunResult",
+    "SabreSearch",
+    "SearchStrategy",
+    "SimulationHarness",
+    "StratifiedBFI",
+    "TestRunner",
+    "UnsafeCondition",
+    "UnsafeConditionKind",
+]

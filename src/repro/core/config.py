@@ -1,0 +1,97 @@
+"""Run configuration: everything needed to provision one test run.
+
+The paper provisions "a new instance of the simulator and firmware" at
+the start of each test; :class:`RunConfiguration` is the recipe for that
+provisioning, shared by the profiling runs, the search strategies, and
+bug replay so that every run of a campaign is built identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple, Type
+
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.firmware.base import ControlFirmware
+from repro.firmware.params import FirmwareParameters
+from repro.sim.environment import Environment, default_environment
+from repro.sim.vehicle import IRIS_QUADCOPTER, AirframeParameters
+from repro.workloads.builtin import AutoWorkload
+from repro.workloads.framework import Target
+
+
+@dataclass
+class RunConfiguration:
+    """Recipe for provisioning one simulated test run.
+
+    Attributes
+    ----------
+    firmware_class:
+        The firmware flavour to check (:class:`ArduPilotFirmware` or
+        :class:`Px4Firmware`).
+    workload_factory:
+        Zero-argument callable returning a fresh workload instance.
+    environment_factory:
+        Zero-argument callable returning a fresh environment.
+    airframe:
+        Airframe parameters (the Iris in every paper experiment).
+    firmware_params:
+        Optional firmware parameter overrides (None uses the flavour's
+        defaults).
+    dt:
+        Simulation time-step in seconds.  The paper steps at 1 ms; the
+        pure-Python reproduction defaults to 20 ms, which is fast enough
+        for the controllers and keeps campaigns tractable.
+    max_sim_time_s:
+        Hard cap on simulated time per run (fly-away runs would otherwise
+        never terminate).
+    sample_interval_steps:
+        The trace (and the liveliness check) is sampled every this many
+        steps.
+    noise_seed:
+        Seed for the deterministic sensor noise.  Profiling runs vary it
+        to obtain the run-to-run spread the liveliness threshold needs.
+    reinserted_bugs:
+        Previously-known bug ids to re-insert (Table V experiments).
+    disabled_bugs:
+        Bug ids to disable (i.e. treat as fixed).
+    stop_on_unsafe:
+        Abort a run as soon as the invariant monitor reports a violation
+        (saves simulation budget; the paper's runs likewise end once an
+        unsafe condition has been recorded).
+    """
+
+    firmware_class: Type[ControlFirmware] = ArduPilotFirmware
+    workload_factory: Callable[[], Target] = AutoWorkload
+    environment_factory: Callable[[], Environment] = default_environment
+    airframe: AirframeParameters = IRIS_QUADCOPTER
+    firmware_params: Optional[FirmwareParameters] = None
+    dt: float = 0.02
+    max_sim_time_s: float = 160.0
+    sample_interval_steps: int = 5
+    noise_seed: int = 0
+    reinserted_bugs: Tuple[str, ...] = ()
+    disabled_bugs: Tuple[str, ...] = ()
+    stop_on_unsafe: bool = True
+
+    def with_noise_seed(self, noise_seed: int) -> "RunConfiguration":
+        """Return a copy of the configuration with a different noise seed."""
+        return RunConfiguration(
+            firmware_class=self.firmware_class,
+            workload_factory=self.workload_factory,
+            environment_factory=self.environment_factory,
+            airframe=self.airframe,
+            firmware_params=self.firmware_params,
+            dt=self.dt,
+            max_sim_time_s=self.max_sim_time_s,
+            sample_interval_steps=self.sample_interval_steps,
+            noise_seed=noise_seed,
+            reinserted_bugs=self.reinserted_bugs,
+            disabled_bugs=self.disabled_bugs,
+            stop_on_unsafe=self.stop_on_unsafe,
+        )
+
+    @property
+    def firmware_name(self) -> str:
+        """The flavour name of the configured firmware class."""
+        return self.firmware_class.name

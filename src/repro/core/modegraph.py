@@ -1,0 +1,125 @@
+"""The mode graph used by the liveliness distance (Section IV-C).
+
+"A mode graph is a directed graph, where each node represents a mode and
+each edge represents a mode-change event.  The mode graph is constructed
+from the observed transitions between modes in the profiling runs."  The
+distance between two modes is the length of the shortest path between
+them; the longest such path (the graph's diameter, ``D``) normalises the
+position and acceleration distances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.hinj.instrumentation import ModeTransition
+
+
+class ModeGraph:
+    """Directed graph over operating-mode labels with shortest-path distance."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._distance_cache: Dict[Tuple[str, str], int] = {}
+        self._diameter: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_transition(self, source: Optional[str], destination: str) -> None:
+        """Record one observed mode-change event."""
+        self._graph.add_node(destination)
+        if source is not None and source != destination:
+            self._graph.add_node(source)
+            self._graph.add_edge(source, destination)
+        self._distance_cache.clear()
+        self._diameter = None
+
+    def add_transitions(self, transitions: Iterable[ModeTransition]) -> None:
+        """Record a whole profiling run's transition list."""
+        for transition in transitions:
+            self.add_transition(transition.previous, transition.label)
+
+    @classmethod
+    def from_profiling_runs(
+        cls, runs: Sequence[Sequence[ModeTransition]]
+    ) -> "ModeGraph":
+        """Build the mode graph from the transitions of several runs."""
+        graph = cls()
+        for transitions in runs:
+            graph.add_transitions(transitions)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def modes(self) -> List[str]:
+        """Every mode label seen in the profiling runs."""
+        return sorted(self._graph.nodes)
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        """Every observed mode-change edge."""
+        return sorted(self._graph.edges)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._graph
+
+    def distance(self, source: str, destination: str) -> int:
+        """Shortest-path distance ``d_m`` between two modes.
+
+        Unknown modes (never seen in profiling) and unreachable pairs are
+        assigned the graph diameter plus one -- the test run has wandered
+        somewhere the profiling runs never go, which is maximally far.
+        """
+        if source == destination:
+            return 0
+        key = (source, destination)
+        if key in self._distance_cache:
+            return self._distance_cache[key]
+        result: Optional[int] = None
+        if source in self._graph and destination in self._graph:
+            try:
+                result = nx.shortest_path_length(self._graph, source, destination)
+            except nx.NetworkXNoPath:
+                # Fall back to the undirected distance: a drone cannot land
+                # before flying, but "one transition apart in either
+                # direction" is still closer than "unrelated modes".
+                try:
+                    result = nx.shortest_path_length(
+                        self._graph.to_undirected(as_view=True), source, destination
+                    )
+                except nx.NetworkXNoPath:
+                    result = None
+        if result is None:
+            result = self.diameter + 1
+        self._distance_cache[key] = result
+        return result
+
+    @property
+    def diameter(self) -> int:
+        """``D``: the length of the longest shortest path in the graph."""
+        if self._diameter is not None:
+            return self._diameter
+        longest = 1
+        undirected = self._graph.to_undirected(as_view=True)
+        for source, lengths in nx.all_pairs_shortest_path_length(undirected):
+            for destination, length in lengths.items():
+                if length > longest:
+                    longest = length
+        self._diameter = longest
+        return self._diameter
+
+    def describe(self) -> str:
+        """Readable adjacency listing used in reports."""
+        lines = []
+        for source in sorted(self._graph.nodes):
+            successors = sorted(self._graph.successors(source))
+            if successors:
+                lines.append(f"{source} -> {', '.join(successors)}")
+            else:
+                lines.append(f"{source} (terminal)")
+        return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""The invariant monitor: safety + liveliness + safe-mode invariants.
+
+At the end of every simulation step the monitor checks the two rules of
+Section IV-C; when a rule is violated it produces an
+:class:`UnsafeCondition` carrying enough detail to reproduce and diagnose
+the problem (the fault scenario itself is recorded by the runner, and the
+replay module re-executes it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from repro.core.liveliness import (
+    LivelinessMonitor,
+    LivelinessViolation,
+    rtl_progress_violation,
+)
+from repro.core.modegraph import ModeGraph
+from repro.core.runner import RunResult, TraceSample
+from repro.core.safety import SafetyMonitor, SafetyViolation
+from repro.firmware.modes import OperatingModeLabel
+
+
+class UnsafeConditionKind(enum.Enum):
+    """The rule a detected unsafe condition violates."""
+
+    SAFETY_COLLISION = "safety-collision"
+    SAFETY_SOFTWARE_CRASH = "safety-software-crash"
+    LIVELINESS = "liveliness"
+    SAFE_MODE_PROGRESS = "safe-mode-progress"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class UnsafeCondition:
+    """One detected violation of the invariant rules."""
+
+    kind: UnsafeConditionKind
+    time: float
+    mode_label: str
+    description: str
+
+    @property
+    def is_safety(self) -> bool:
+        """True for violations of the safety rule (crashes)."""
+        return self.kind in (
+            UnsafeConditionKind.SAFETY_COLLISION,
+            UnsafeConditionKind.SAFETY_SOFTWARE_CRASH,
+        )
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return (
+            f"{self.kind.value} at t={self.time:.2f}s (mode '{self.mode_label}'): "
+            f"{self.description}"
+        )
+
+
+class _OnlineProgressTracker:
+    """Streams the safe-mode progress invariants while a run executes.
+
+    The offline check in :class:`LivelinessMonitor` operates on the full
+    trace; this tracker applies the same window rule sample-by-sample so
+    the harness can abort a fly-away-inside-a-fail-safe as soon as it is
+    detectable instead of waiting for the workload to time out.
+    """
+
+    def __init__(self, liveliness: LivelinessMonitor) -> None:
+        self._liveliness = liveliness
+        self._samples: List[TraceSample] = []
+        self._flagged_labels: Set[str] = set()
+
+    def observe(self, sample: TraceSample) -> Optional[LivelinessViolation]:
+        self._samples.append(sample)
+        if len(self._samples) < 2 or sample.on_ground:
+            return None
+        if sample.mode_label in self._flagged_labels:
+            return None
+        if sample.mode_label not in (OperatingModeLabel.LAND, OperatingModeLabel.RTL):
+            return None
+        sample_period = self._samples[1].time - self._samples[0].time
+        if sample_period <= 0.0:
+            return None
+        window = max(int(self._liveliness.PROGRESS_WINDOW_S / sample_period), 2)
+        if len(self._samples) <= window:
+            return None
+        past = self._samples[-1 - window]
+        window_samples = self._samples[-1 - window :]
+        if any(item.mode_label != sample.mode_label for item in window_samples):
+            # The fail-safe mode was (re)entered mid-window; wait for a
+            # full window inside the mode before judging progress.
+            return None
+        if sample.mode_label == OperatingModeLabel.LAND:
+            descent = past.altitude - sample.altitude
+            if descent >= self._liveliness.LAND_PROGRESS_M:
+                return None
+            description = (
+                "no descent progress while in the land fail-safe "
+                f"({descent:.2f} m over {self._liveliness.PROGRESS_WINDOW_S:.0f} s)"
+            )
+        else:
+            rtl_description = rtl_progress_violation(
+                past, sample, self._liveliness.RTL_PROGRESS_M
+            )
+            if rtl_description is None:
+                return None
+            description = (
+                f"{rtl_description} over {self._liveliness.PROGRESS_WINDOW_S:.0f} s"
+            )
+        self._flagged_labels.add(sample.mode_label)
+        return LivelinessViolation(
+            time=sample.time,
+            kind="safe-mode-progress",
+            description=description,
+            mode_label=sample.mode_label,
+        )
+
+
+class InvariantMonitor:
+    """Combines the safety and liveliness monitors behind one interface."""
+
+    def __init__(
+        self,
+        profiling_runs: Sequence[RunResult],
+        safe_mode_labels: Optional[Set[str]] = None,
+        impact_speed_threshold: float = 2.0,
+        min_position_scale: float = 5.0,
+    ) -> None:
+        self._safety = SafetyMonitor(impact_speed_threshold=impact_speed_threshold)
+        self._liveliness = LivelinessMonitor(
+            profiling_runs,
+            safe_mode_labels=safe_mode_labels,
+            min_position_scale=min_position_scale,
+        )
+        self._progress_tracker: Optional[_OnlineProgressTracker] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def liveliness(self) -> LivelinessMonitor:
+        """The liveliness monitor (exposes calibration and mode graph)."""
+        return self._liveliness
+
+    @property
+    def mode_graph(self) -> ModeGraph:
+        """The mode graph built from the profiling runs."""
+        return self._liveliness.mode_graph
+
+    def add_safe_mode(self, label: str) -> None:
+        """Declare an additional safe mode (developer-supplied)."""
+        self._liveliness.add_safe_mode(label)
+
+    # ------------------------------------------------------------------
+    # Online interface (used by the harness during a run)
+    # ------------------------------------------------------------------
+    def begin_run(self) -> None:
+        """Reset per-run state before a new run starts."""
+        self._progress_tracker = _OnlineProgressTracker(self._liveliness)
+
+    def check_sample(self, sample: TraceSample) -> Optional[UnsafeCondition]:
+        """Check one trace sample while the run is executing.
+
+        The liveliness rule and the safe-mode progress invariants are
+        evaluated online (safety violations are detected by the
+        simulator's collision log as they happen); returning a violation
+        lets the harness abort the run early.
+        """
+        violation = self._liveliness.check_sample(sample)
+        if violation is None and self._progress_tracker is not None:
+            violation = self._progress_tracker.observe(sample)
+        if violation is None:
+            return None
+        return self._from_liveliness(violation)
+
+    # ------------------------------------------------------------------
+    # Offline evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, result: RunResult) -> List[UnsafeCondition]:
+        """Evaluate a completed run against both rules."""
+        conditions: List[UnsafeCondition] = []
+        for violation in self._safety.evaluate(result):
+            conditions.append(self._from_safety(violation))
+        for violation in self._liveliness.evaluate(result):
+            conditions.append(self._from_liveliness(violation))
+        return sorted(conditions, key=lambda condition: condition.time)
+
+    # ------------------------------------------------------------------
+    # Converters
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _from_safety(violation: SafetyViolation) -> UnsafeCondition:
+        kind = (
+            UnsafeConditionKind.SAFETY_COLLISION
+            if violation.kind == "collision"
+            else UnsafeConditionKind.SAFETY_SOFTWARE_CRASH
+        )
+        return UnsafeCondition(
+            kind=kind,
+            time=violation.time,
+            mode_label=violation.mode_label,
+            description=violation.description,
+        )
+
+    @staticmethod
+    def _from_liveliness(violation: LivelinessViolation) -> UnsafeCondition:
+        kind = (
+            UnsafeConditionKind.LIVELINESS
+            if violation.kind == "liveliness"
+            else UnsafeConditionKind.SAFE_MODE_PROGRESS
+        )
+        return UnsafeCondition(
+            kind=kind,
+            time=violation.time,
+            mode_label=violation.mode_label,
+            description=violation.description,
+        )
+
+
+def mode_category_of(condition: UnsafeCondition) -> str:
+    """The Table IV mode category (takeoff/manual/waypoint/land) of a condition."""
+    return OperatingModeLabel.mode_category(condition.mode_label)

@@ -1,0 +1,137 @@
+"""Redundancy elimination (Section IV-B-1).
+
+Two policies keep SABRE from wasting budget on equivalent scenarios:
+
+* **Found-bug pruning** -- once injecting a set of failures has triggered
+  a bug, supersets of that set (extra failures on top of it) are skipped:
+  "if a vehicle cannot handle a single sensor failure then it is unlikely
+  to correctly handle multiple failures in the same program context".
+* **Sensor-instance symmetry** -- the firmware's handling depends on the
+  *role* of the failed instance (primary vs. backup), not on which
+  physical backup failed, so scenarios that fail the same roles at the
+  same times are equivalent.  For ``N`` instances of one type this cuts
+  the combinations from ``N x (2^N - 1)`` to ``2N - 1`` (Figure 6:
+  21 -> 5 for three compasses).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.sensors.base import SensorId, SensorRole, SensorType
+
+
+#: A canonical signature: how many instances of each (type, role) fail at
+#: each time.  Two scenarios with equal signatures are symmetric.
+SymmetrySignature = FrozenSet[Tuple[str, str, float, int]]
+
+
+def symmetry_signature(
+    scenario: FaultScenario, role_of: Callable[[SensorId], SensorRole]
+) -> SymmetrySignature:
+    """The role-based canonical form of a scenario."""
+    counts: Counter = Counter()
+    for fault in scenario:
+        role = role_of(fault.sensor_id)
+        counts[(fault.sensor_id.sensor_type.value, role.value, fault.start_time)] += 1
+    return frozenset(
+        (sensor_type, role, time, count)
+        for (sensor_type, role, time), count in counts.items()
+    )
+
+
+def symmetric_fault_count(instance_count: int) -> int:
+    """``2N - 1``: distinct role-signatures for N instances of one type.
+
+    This is the figure-6 arithmetic: N ways to fail k backups (k = 0..N-1)
+    together with the primary, plus N - 1 ways to fail k backups alone
+    (k = 1..N-1), which totals ``2N - 1``.
+    """
+    if instance_count < 1:
+        raise ValueError("a sensor type needs at least one instance")
+    return 2 * instance_count - 1
+
+
+def unpruned_fault_count(instance_count: int) -> int:
+    """``N x (2^N - 1)``: the paper's count without symmetry pruning."""
+    if instance_count < 1:
+        raise ValueError("a sensor type needs at least one instance")
+    return instance_count * (2 ** instance_count - 1)
+
+
+@dataclass
+class PruningStatistics:
+    """Counts of how often each policy fired (for reports and ablation)."""
+
+    found_bug_pruned: int = 0
+    symmetry_pruned: int = 0
+    duplicate_pruned: int = 0
+
+    @property
+    def total_pruned(self) -> int:
+        """Total scenarios skipped by any policy."""
+        return self.found_bug_pruned + self.symmetry_pruned + self.duplicate_pruned
+
+
+class RedundancyPruner:
+    """Implements ``CanPrune`` of Algorithm 1."""
+
+    def __init__(
+        self,
+        role_of: Callable[[SensorId], SensorRole],
+        enable_found_bug_pruning: bool = True,
+        enable_symmetry_pruning: bool = True,
+    ) -> None:
+        self._role_of = role_of
+        self._enable_found_bug = enable_found_bug_pruning
+        self._enable_symmetry = enable_symmetry_pruning
+        self._bug_scenarios: Set[FaultScenario] = set()
+        self._seen_signatures: Set[SymmetrySignature] = set()
+        self._seen_scenarios: Set[FaultScenario] = set()
+        self.statistics = PruningStatistics()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_bug(self, scenario: FaultScenario) -> None:
+        """Record that ``scenario`` triggered a bug (found-bug pruning)."""
+        self._bug_scenarios.add(scenario)
+
+    def record_explored(self, scenario: FaultScenario) -> None:
+        """Record that ``scenario`` has been simulated."""
+        self._seen_scenarios.add(scenario)
+        self._seen_signatures.add(symmetry_signature(scenario, self._role_of))
+
+    @property
+    def bug_scenarios(self) -> Set[FaultScenario]:
+        """Scenarios known to trigger bugs."""
+        return set(self._bug_scenarios)
+
+    # ------------------------------------------------------------------
+    # The CanPrune decision
+    # ------------------------------------------------------------------
+    def can_prune(self, scenario: FaultScenario) -> bool:
+        """True when ``scenario`` is redundant and should be skipped."""
+        if scenario in self._seen_scenarios:
+            self.statistics.duplicate_pruned += 1
+            return True
+        if self._enable_found_bug and self._is_superset_of_bug(scenario):
+            self.statistics.found_bug_pruned += 1
+            return True
+        if self._enable_symmetry:
+            signature = symmetry_signature(scenario, self._role_of)
+            if signature in self._seen_signatures:
+                self.statistics.symmetry_pruned += 1
+                return True
+        return False
+
+    def _is_superset_of_bug(self, scenario: FaultScenario) -> bool:
+        candidate = set(scenario)
+        for bug_scenario in self._bug_scenarios:
+            bug_faults = set(bug_scenario)
+            if bug_faults and bug_faults < candidate:
+                return True
+        return False

@@ -1,0 +1,136 @@
+"""Bug replay (Section IV-D).
+
+Avis records the failures it injects; when an unsafe condition is found
+the scenario is saved for replay.  Replay "re-executes the mission,
+injecting the same faults at the same time offsets from mode transitions"
+-- anchoring to mode transitions rather than absolute times makes the
+reproduction robust to minor non-determinism between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.config import RunConfiguration
+from repro.core.monitor import InvariantMonitor
+from repro.core.runner import RunResult, TestRunner
+from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.sensors.base import SensorId
+
+
+@dataclass(frozen=True)
+class AnchoredFault:
+    """A fault expressed relative to an operating-mode transition."""
+
+    sensor_id: SensorId
+    #: Label of the operating mode the vehicle was entering (or in) when
+    #: the fault was injected.
+    anchor_label: str
+    #: Which occurrence of that label in the run the fault anchors to
+    #: (labels can repeat, e.g. repeated position-hold dwells).
+    anchor_occurrence: int
+    #: Seconds between the anchoring transition and the injection.
+    offset_s: float
+
+
+@dataclass
+class ReplayPlan:
+    """The transition-anchored description of a recorded scenario."""
+
+    faults: List[AnchoredFault]
+
+    def describe(self) -> str:
+        """Readable description used in bug reports."""
+        if not self.faults:
+            return "no faults (golden run)"
+        return "; ".join(
+            f"{fault.sensor_id.label} {fault.offset_s:.2f}s after entering "
+            f"'{fault.anchor_label}' (occurrence {fault.anchor_occurrence})"
+            for fault in self.faults
+        )
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying a recorded unsafe scenario."""
+
+    plan: ReplayPlan
+    original: RunResult
+    replay: RunResult
+
+    @property
+    def reproduced(self) -> bool:
+        """True when the replay run also produced an unsafe condition."""
+        return self.replay.found_unsafe_condition
+
+
+def build_replay_plan(result: RunResult) -> ReplayPlan:
+    """Anchor each injected fault of ``result`` to its mode transition."""
+    faults: List[AnchoredFault] = []
+    transitions = result.mode_transitions
+    for record in result.injections:
+        anchor_label = "preflight"
+        anchor_time = 0.0
+        occurrence = 0
+        occurrences: dict = {}
+        for transition in transitions:
+            occurrences[transition.label] = occurrences.get(transition.label, 0) + 1
+            if transition.time <= record.injected_time:
+                anchor_label = transition.label
+                anchor_time = transition.time
+                occurrence = occurrences[transition.label]
+        faults.append(
+            AnchoredFault(
+                sensor_id=record.sensor_id,
+                anchor_label=anchor_label,
+                anchor_occurrence=max(occurrence, 1),
+                offset_s=record.injected_time - anchor_time,
+            )
+        )
+    return ReplayPlan(faults=faults)
+
+
+def resolve_plan(plan: ReplayPlan, reference: RunResult) -> FaultScenario:
+    """Turn an anchored plan back into absolute times using ``reference``.
+
+    ``reference`` is typically a fresh fault-free run of the same mission;
+    anchoring each fault to the same labelled transition absorbs the small
+    timing differences between runs.
+    """
+    specs: List[FaultSpec] = []
+    for fault in plan.faults:
+        anchor_time: Optional[float] = None
+        seen = 0
+        for transition in reference.mode_transitions:
+            if transition.label == fault.anchor_label:
+                seen += 1
+                if seen == fault.anchor_occurrence:
+                    anchor_time = transition.time
+                    break
+        if anchor_time is None:
+            # The reference run never entered the anchoring mode; fall back
+            # to the start of the mission so the fault is still injected.
+            anchor_time = 0.0
+        specs.append(FaultSpec(fault.sensor_id, max(anchor_time + fault.offset_s, 0.0)))
+    return FaultScenario(specs)
+
+
+class BugReplayer:
+    """Re-executes recorded unsafe scenarios to confirm reproducibility."""
+
+    def __init__(self, config: RunConfiguration, monitor: InvariantMonitor) -> None:
+        self._config = config
+        self._monitor = monitor
+
+    def replay(self, original: RunResult, reference: Optional[RunResult] = None) -> ReplayOutcome:
+        """Replay ``original``'s scenario anchored to mode transitions."""
+        plan = build_replay_plan(original)
+        runner = TestRunner(self._config, monitor=self._monitor)
+        if reference is None:
+            # A fresh golden run provides the transition times to anchor to.
+            golden_runner = TestRunner(self._config)
+            reference = golden_runner.run()
+        scenario = resolve_plan(plan, reference)
+        replay_result = runner.run(scenario)
+        return ReplayOutcome(plan=plan, original=original, replay=replay_result)

@@ -1,0 +1,122 @@
+"""Report generation: detailed unsafe-condition reports and campaign tables.
+
+When the invariant monitor flags a violation, "the invariant monitor
+generates a detailed report to help reproduce and diagnose the bug".
+:func:`unsafe_condition_report` renders that report for one run;
+:func:`campaign_table` renders the comparison tables the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.avis import CampaignResult
+from repro.core.replay import build_replay_plan
+from repro.core.runner import RunResult
+
+
+def unsafe_condition_report(result: RunResult) -> str:
+    """A detailed, human-readable report for one unsafe run."""
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append(f"UNSAFE CONDITION REPORT -- {result.firmware_name} / {result.workload_name}")
+    lines.append("=" * 72)
+    lines.append("")
+    lines.append("Injected faults:")
+    if result.scenario.is_empty:
+        lines.append("  (none -- golden run)")
+    else:
+        for fault in result.scenario:
+            lines.append(f"  - {fault.describe()}")
+    plan = build_replay_plan(result)
+    lines.append("")
+    lines.append("Replay anchoring (offsets from mode transitions):")
+    lines.append(f"  {plan.describe()}")
+    lines.append("")
+    lines.append("Operating-mode transitions observed:")
+    for transition in result.mode_transitions:
+        lines.append(f"  - {transition.describe()}")
+    lines.append("")
+    lines.append("Invariant violations:")
+    if not result.unsafe_conditions:
+        lines.append("  (none)")
+    else:
+        for condition in result.unsafe_conditions:
+            lines.append(f"  - {condition.describe()}")
+    if result.collisions:
+        lines.append("")
+        lines.append("Collisions recorded by the simulator:")
+        for collision in result.collisions:
+            lines.append(f"  - {collision.describe()}")
+    if result.failsafe_events:
+        lines.append("")
+        lines.append("Fail-safe decisions taken by the firmware:")
+        for event in result.failsafe_events:
+            lines.append(f"  - {event.describe()}")
+    if result.triggered_bugs:
+        lines.append("")
+        lines.append("Root-cause bugs (simulation ground truth):")
+        for bug_id in result.triggered_bugs:
+            lines.append(f"  - {bug_id}")
+    workload = result.workload_result
+    lines.append("")
+    lines.append(
+        "Workload outcome: "
+        + (f"{workload.outcome.value} ({workload.reason})" if workload else "n/a")
+    )
+    lines.append(f"Simulated duration: {result.duration_s:.1f} s over {result.steps} steps")
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    materialised = [list(map(str, row)) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+
+    lines = [render_row(list(headers)), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def campaign_table(campaigns: Sequence[CampaignResult]) -> str:
+    """The Table III style comparison of campaigns."""
+    rows = []
+    for campaign in campaigns:
+        rows.append(
+            (
+                campaign.strategy_name,
+                campaign.firmware_name,
+                campaign.unsafe_scenario_count,
+                campaign.simulations,
+                campaign.labels,
+                f"{campaign.efficiency:.2f}",
+            )
+        )
+    return format_table(
+        ["approach", "firmware", "unsafe #", "simulations", "labels", "unsafe/sim"], rows
+    )
+
+
+def per_mode_table(campaigns: Sequence[CampaignResult]) -> str:
+    """The Table IV style per-mode breakdown."""
+    rows = []
+    for campaign in campaigns:
+        counts = campaign.per_mode_counts
+        rows.append(
+            (
+                campaign.strategy_name,
+                campaign.firmware_name,
+                counts.get("takeoff", 0),
+                counts.get("manual", 0),
+                counts.get("waypoint", 0),
+                counts.get("land", 0),
+            )
+        )
+    return format_table(
+        ["approach", "firmware", "takeoff #", "manual #", "waypoint #", "land #"], rows
+    )

@@ -1,0 +1,350 @@
+"""The test runner: one lock-step simulated flight per fault scenario.
+
+This is the loop of Figure 7.  :class:`SimulationHarness` provisions a
+fresh simulator, sensor suite, hinj interface, firmware and
+ground-control station; the workload drives it through ``step()``; the
+harness records the trace, mode transitions, collisions and fail-safe
+events.  :class:`TestRunner` wraps the harness behind a single
+``run(scenario)`` call used by the search strategies, profiling and bug
+replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.config import RunConfiguration
+from repro.firmware.base import ControlFirmware
+from repro.firmware.modes import FlightMode
+from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario
+from repro.hinj.instrumentation import HinjInterface, ModeTransition
+from repro.hinj.scheduler import FaultScheduler, InjectionRecord
+from repro.mavlink.gcs import GroundControlStation, TelemetrySnapshot
+from repro.mavlink.link import MavLink
+from repro.sensors.suite import SensorSuite, iris_sensor_suite
+from repro.sim.environment import GeoLocation
+from repro.sim.simulator import CollisionEvent, Simulator
+from repro.sim.state import VehicleState
+from repro.workloads.framework import Target, WorkloadOutcome, WorkloadResult
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One sample of the recorded run trace.
+
+    The invariant monitor's state tuple ``(P, alpha, M)`` corresponds to
+    ``position``, ``acceleration`` and ``mode_label``.
+    """
+
+    index: int
+    time: float
+    position: Tuple[float, float, float]
+    acceleration: Tuple[float, float, float]
+    velocity: Tuple[float, float, float]
+    mode_label: str
+    altitude: float
+    on_ground: bool
+    armed: bool
+
+    @staticmethod
+    def from_state(index: int, state: VehicleState, mode_label: str) -> "TraceSample":
+        """Build a sample from a simulator state snapshot."""
+        return TraceSample(
+            index=index,
+            time=state.time,
+            position=state.position,
+            acceleration=state.acceleration,
+            velocity=state.velocity,
+            mode_label=mode_label,
+            altitude=state.altitude,
+            on_ground=state.on_ground,
+            armed=state.armed,
+        )
+
+
+@dataclass
+class RunResult:
+    """Everything recorded about one simulated test run."""
+
+    scenario: FaultScenario
+    firmware_name: str
+    workload_name: str
+    workload_result: Optional[WorkloadResult]
+    trace: List[TraceSample]
+    mode_transitions: List[ModeTransition]
+    collisions: List[CollisionEvent]
+    fence_breaches: List
+    injections: List[InjectionRecord]
+    failsafe_events: List
+    triggered_bugs: List[str]
+    firmware_process_alive: bool
+    duration_s: float
+    steps: int
+    aborted_early: bool = False
+    #: Filled in by the invariant monitor.
+    unsafe_conditions: List = field(default_factory=list)
+
+    @property
+    def is_golden(self) -> bool:
+        """True for the fault-free profiling runs."""
+        return self.scenario.is_empty
+
+    @property
+    def found_unsafe_condition(self) -> bool:
+        """True when the invariant monitor reported at least one violation."""
+        return bool(self.unsafe_conditions)
+
+    @property
+    def workload_passed(self) -> bool:
+        """True when the workload reported success."""
+        return self.workload_result is not None and self.workload_result.passed
+
+    @property
+    def transition_times(self) -> List[float]:
+        """Times of the observed operating-mode transitions."""
+        return [transition.time for transition in self.mode_transitions]
+
+    def mode_label_at(self, time: float) -> str:
+        """The operating-mode label in effect at ``time``."""
+        label = "preflight"
+        for transition in self.mode_transitions:
+            if transition.time <= time:
+                label = transition.label
+            else:
+                break
+        return label
+
+    def summary(self) -> str:
+        """One-line summary for logs and reports."""
+        outcome = self.workload_result.outcome.value if self.workload_result else "n/a"
+        return (
+            f"[{self.firmware_name}/{self.workload_name}] {self.scenario.describe()} -> "
+            f"workload={outcome}, unsafe={len(self.unsafe_conditions)}, "
+            f"bugs={','.join(self.triggered_bugs) or 'none'}"
+        )
+
+
+class SimulationHarness:
+    """Owns one provisioned simulation and exposes the workload interface.
+
+    The attributes documented on :class:`repro.workloads.framework.Target`
+    (``step``, ``dt``, ``time``, ``gcs``, ``telemetry``, ``home``, mode
+    name properties, ``should_abort``) are all provided here.
+    """
+
+    def __init__(
+        self,
+        config: RunConfiguration,
+        scenario: FaultScenario = EMPTY_SCENARIO,
+        monitor=None,
+    ) -> None:
+        self._config = config
+        self._scenario = scenario
+        self._monitor = monitor
+
+        environment = config.environment_factory()
+        self.simulator = Simulator(
+            airframe=config.airframe, environment=environment, dt=config.dt
+        )
+        self.suite: SensorSuite = iris_sensor_suite(noise_seed=config.noise_seed)
+        self.scheduler = FaultScheduler(scenario)
+        self.hinj = HinjInterface(self.scheduler)
+        self.link = MavLink()
+        self.gcs = GroundControlStation(self.link)
+
+        firmware_kwargs = dict(
+            suite=self.suite,
+            airframe=config.airframe,
+            environment=environment,
+            link=self.link,
+            hinj=self.hinj,
+            dt=config.dt,
+        )
+        if config.firmware_params is not None:
+            firmware_kwargs["params"] = config.firmware_params
+        self.firmware: ControlFirmware = config.firmware_class(**firmware_kwargs)
+        for bug_id in config.reinserted_bugs:
+            self.firmware.bug_registry.reinsert(bug_id)
+        for bug_id in config.disabled_bugs:
+            self.firmware.bug_registry.disable(bug_id)
+
+        self._trace: List[TraceSample] = []
+        self._steps = 0
+        self._abort = False
+        self._unsafe_found = False
+        self._max_steps = int(config.max_sim_time_s / config.dt)
+        self._sample_interval = max(config.sample_interval_steps, 1)
+        self._record_sample()
+
+    # ------------------------------------------------------------------
+    # Workload-facing interface
+    # ------------------------------------------------------------------
+    @property
+    def dt(self) -> float:
+        """Simulation time-step in seconds."""
+        return self._config.dt
+
+    @property
+    def time(self) -> float:
+        """Current simulated time in seconds."""
+        return self.simulator.time
+
+    @property
+    def telemetry(self) -> TelemetrySnapshot:
+        """The ground-control station's latest telemetry view."""
+        return self.gcs.telemetry
+
+    @property
+    def home(self) -> GeoLocation:
+        """The launch location."""
+        return self.firmware.home
+
+    @property
+    def auto_mode_name(self) -> str:
+        """Flavour-specific SET_MODE string for the mission mode."""
+        return self._mode_name_for(FlightMode.AUTO)
+
+    @property
+    def guided_mode_name(self) -> str:
+        """Flavour-specific SET_MODE string for the guided mode."""
+        return self._mode_name_for(FlightMode.GUIDED)
+
+    @property
+    def position_hold_mode_name(self) -> str:
+        """Flavour-specific SET_MODE string for the position-hold mode."""
+        return self._mode_name_for(FlightMode.POSHOLD)
+
+    @property
+    def land_mode_name(self) -> str:
+        """Flavour-specific SET_MODE string for the land mode."""
+        return self._mode_name_for(FlightMode.LAND)
+
+    def _mode_name_for(self, mode: FlightMode) -> str:
+        for name, value in self.firmware.mode_name_table.items():
+            if value == mode:
+                return name
+        return mode.value.upper()
+
+    def set_guided_target(self, north: float, east: float, altitude: float) -> None:
+        """Forward a guided target to the firmware."""
+        self.firmware.set_guided_target(north, east, altitude)
+
+    def should_abort(self) -> bool:
+        """True when the workload should stop stepping."""
+        return self._abort
+
+    def step(self, count: int = 1) -> None:
+        """Advance the lock-step loop by ``count`` time-steps (Figure 7)."""
+        for _ in range(count):
+            if self._abort:
+                return
+            self.link.advance()
+            self.gcs.poll(self.time)
+            readings = self.suite.read_all(self.simulator.state, self.time)
+            command = self.firmware.update(readings, self.time)
+            self.simulator.step(command)
+            self._steps += 1
+            if self._steps % self._sample_interval == 0:
+                self._record_sample()
+            if self._steps >= self._max_steps:
+                self._abort = True
+            if self.simulator.has_crashed or not self.firmware.process_alive:
+                self._unsafe_found = True
+                if self._config.stop_on_unsafe:
+                    self._abort = True
+
+    def _record_sample(self) -> None:
+        state = self.simulator.state
+        sample = TraceSample.from_state(
+            index=len(self._trace), state=state, mode_label=self.firmware.operating_mode_label
+        )
+        self._trace.append(sample)
+        if self._monitor is not None:
+            violation = self._monitor.check_sample(sample)
+            if violation is not None:
+                self._unsafe_found = True
+                if self._config.stop_on_unsafe:
+                    self._abort = True
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def build_result(
+        self, workload: Target, workload_result: Optional[WorkloadResult]
+    ) -> RunResult:
+        """Assemble the :class:`RunResult` once the workload has finished."""
+        return RunResult(
+            scenario=self._scenario,
+            firmware_name=self.firmware.name,
+            workload_name=workload.display_name,
+            workload_result=workload_result,
+            trace=list(self._trace),
+            mode_transitions=self.hinj.transitions,
+            collisions=self.simulator.collisions,
+            fence_breaches=self.simulator.fence_breaches,
+            injections=self.scheduler.injections,
+            failsafe_events=self.firmware.failsafe_events,
+            triggered_bugs=self.firmware.triggered_bug_ids,
+            firmware_process_alive=self.firmware.process_alive,
+            duration_s=self.time,
+            steps=self._steps,
+            aborted_early=self._abort,
+        )
+
+
+class TestRunner:
+    """Runs workloads under fault scenarios, one fresh harness per run."""
+
+    def __init__(self, config: RunConfiguration, monitor=None) -> None:
+        self._config = config
+        self._monitor = monitor
+        self._runs_executed = 0
+        self._simulated_seconds = 0.0
+
+    @property
+    def config(self) -> RunConfiguration:
+        """The run configuration used for every run."""
+        return self._config
+
+    @property
+    def monitor(self):
+        """The invariant monitor evaluated against every run (may be None)."""
+        return self._monitor
+
+    @monitor.setter
+    def monitor(self, monitor) -> None:
+        self._monitor = monitor
+
+    @property
+    def runs_executed(self) -> int:
+        """Number of simulations executed so far."""
+        return self._runs_executed
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated flight time across all runs."""
+        return self._simulated_seconds
+
+    def run(
+        self,
+        scenario: FaultScenario = EMPTY_SCENARIO,
+        noise_seed: Optional[int] = None,
+    ) -> RunResult:
+        """Execute the configured workload under ``scenario``."""
+        config = self._config
+        if noise_seed is not None:
+            config = config.with_noise_seed(noise_seed)
+        online_monitor = self._monitor if self._monitor is not None else None
+        harness = SimulationHarness(config, scenario, monitor=online_monitor)
+        if online_monitor is not None:
+            online_monitor.begin_run()
+        workload = config.workload_factory()
+        workload.bind(harness)
+        workload_result = workload.run()
+        result = harness.build_result(workload, workload_result)
+        self._runs_executed += 1
+        self._simulated_seconds += result.duration_s
+        if self._monitor is not None:
+            result.unsafe_conditions = self._monitor.evaluate(result)
+        return result

@@ -1,0 +1,208 @@
+"""SABRE: stratified breadth-first exploration of the fault space.
+
+This is Algorithm 1 of the paper.  A profiling run discovers the times of
+the operating-mode transitions; the transition queue is seeded with one
+entry per transition; each dequeued entry is expanded with every
+non-redundant combination of sensor failures injected at that timestamp;
+bug-free runs re-enqueue their own transitions (so multi-time,
+multi-sensor scenarios are reached), and each entry is finally re-enqueued
+with a shifted timestamp so the neighbourhood of every transition is
+eventually covered.
+
+One engineering refinement is exposed as a parameter:
+``max_scenarios_per_dequeue`` bounds how many new scenarios are simulated
+for a single queue entry before the entry is put back (with its
+enumeration cursor) at the tail.  With the bound disabled SABRE is
+exactly Algorithm 1; with a small bound the same scenarios are explored
+in a fairer order across transitions, which matters when the simulation
+budget is far smaller than the paper's two hours.  The default campaign
+uses a bound of 8.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.pruning import RedundancyPruner
+from repro.core.runner import RunResult
+from repro.core.session import ExplorationSession
+from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario, FaultSpec
+from repro.sensors.base import SensorId
+
+
+@dataclass
+class _QueueEntry:
+    """One entry of the transition queue: inject at ``timestamp`` on top of
+    the already-injected ``base`` scenario, starting at subset ``cursor``."""
+
+    timestamp: float
+    base: FaultScenario
+    cursor: int = 0
+
+
+@dataclass
+class SabreReport:
+    """Summary of one SABRE exploration."""
+
+    simulations: int = 0
+    unsafe_scenarios: int = 0
+    pruned: int = 0
+    queue_exhausted: bool = False
+
+
+class SabreSearch:
+    """Algorithm 1: stratified breadth-first search over injection sites."""
+
+    def __init__(
+        self,
+        session: ExplorationSession,
+        failures: Optional[Sequence[SensorId]] = None,
+        max_concurrent_failures: int = 2,
+        time_quantum_s: float = 1.0,
+        max_scenarios_per_dequeue: Optional[int] = None,
+        pruner: Optional[RedundancyPruner] = None,
+    ) -> None:
+        self._session = session
+        self._failures = list(failures) if failures is not None else list(session.sensor_ids)
+        if not self._failures:
+            raise ValueError("SABRE needs at least one sensor failure to inject")
+        self._max_concurrent = max(1, max_concurrent_failures)
+        self._time_quantum = time_quantum_s
+        self._per_dequeue = max_scenarios_per_dequeue
+        self._pruner = (
+            pruner
+            if pruner is not None
+            else RedundancyPruner(role_of=session.sensor_role)
+        )
+        self._subsets = self._enumerate_subsets()
+        self.report = SabreReport()
+
+    # ------------------------------------------------------------------
+    # Subset enumeration (the PowerSet of line 5, smallest subsets first)
+    # ------------------------------------------------------------------
+    def _enumerate_subsets(self) -> List[Tuple[SensorId, ...]]:
+        """Failure subsets ordered smallest-and-most-informative first.
+
+        Singletons precede pairs; within a size, subsets failing primary
+        instances precede those failing backups (failing an idle backup
+        rarely changes behaviour, so it is the least informative probe).
+        """
+        subsets: List[Tuple[SensorId, ...]] = []
+        for size in range(1, self._max_concurrent + 1):
+            for combo in itertools.combinations(self._failures, size):
+                subsets.append(combo)
+
+        def backup_count(subset: Tuple[SensorId, ...]) -> int:
+            from repro.sensors.base import SensorRole
+
+            return sum(
+                1
+                for sensor_id in subset
+                if self._session.sensor_role(sensor_id) == SensorRole.BACKUP
+            )
+
+        subsets.sort(
+            key=lambda subset: (
+                len(subset),
+                backup_count(subset),
+                tuple(sensor_id.label for sensor_id in subset),
+            )
+        )
+        return subsets
+
+    @property
+    def subsets(self) -> List[Tuple[SensorId, ...]]:
+        """The ordered failure subsets considered at each injection point."""
+        return list(self._subsets)
+
+    @property
+    def pruner(self) -> RedundancyPruner:
+        """The redundancy pruner (exposes pruning statistics)."""
+        return self._pruner
+
+    # ------------------------------------------------------------------
+    # The search
+    # ------------------------------------------------------------------
+    def run(self) -> SabreReport:
+        """Execute the search until the queue or the budget is exhausted."""
+        session = self._session
+        queue: Deque[_QueueEntry] = deque(
+            _QueueEntry(timestamp=time, base=EMPTY_SCENARIO)
+            for time in self._initial_injection_times()
+        )
+        if not queue:
+            queue.append(_QueueEntry(timestamp=0.0, base=EMPTY_SCENARIO))
+
+        while queue and session.budget.can_afford_simulation():
+            entry = queue.popleft()
+            ran_this_visit = 0
+            cursor = entry.cursor
+            while cursor < len(self._subsets):
+                if not session.budget.can_afford_simulation():
+                    break
+                if self._per_dequeue is not None and ran_this_visit >= self._per_dequeue:
+                    break
+                subset = self._subsets[cursor]
+                cursor += 1
+                scenario = entry.base.extended(
+                    FaultSpec(sensor_id, entry.timestamp) for sensor_id in subset
+                )
+                if self._pruner.can_prune(scenario) or session.was_explored(scenario):
+                    self.report.pruned += 1
+                    continue
+                result = session.run_scenario(scenario)
+                if result is None:
+                    break
+                ran_this_visit += 1
+                self.report.simulations += 1
+                self._pruner.record_explored(scenario)
+                if result.found_unsafe_condition:
+                    self.report.unsafe_scenarios += 1
+                    self._pruner.record_bug(scenario)
+                else:
+                    # Bug-free runs seed deeper, multi-time scenarios.
+                    for transition_time in result.transition_times:
+                        queue.append(_QueueEntry(timestamp=transition_time, base=scenario))
+
+            if cursor < len(self._subsets):
+                # Not finished with this entry: come back to it later.
+                queue.append(
+                    _QueueEntry(timestamp=entry.timestamp, base=entry.base, cursor=cursor)
+                )
+            else:
+                # Line 20: revisit the neighbourhood of this transition at a
+                # later timestamp (bounded by the mission duration).
+                shifted_time = entry.timestamp + self._time_quantum
+                if shifted_time <= self._session.mission_duration:
+                    queue.append(_QueueEntry(timestamp=shifted_time, base=entry.base))
+
+        self.report.queue_exhausted = not queue
+        return self.report
+
+    def _profile_transition_times(self) -> List[float]:
+        """The injection timestamps discovered by the profiling run."""
+        times = self._session.transition_times
+        # The initial "preflight" announcement at t=0 is not a transition
+        # between flight operations; keep it only if nothing else exists.
+        meaningful = [time for time in times if time > 0.0]
+        return meaningful if meaningful else times
+
+    def _initial_injection_times(self) -> List[float]:
+        """Seed injection points: each transition and its near neighbourhood.
+
+        Avis injects failures *around* mode transitions: the transition
+        instant itself (where the failure lands at the tail of the
+        outgoing mode) and one time quantum into the new mode (where it
+        lands at the head of the incoming mode).  Both sides of the
+        boundary are critical windows.
+        """
+        duration = self._session.mission_duration
+        times: List[float] = []
+        for time in self._profile_transition_times():
+            for candidate in (time, time + self._time_quantum):
+                if candidate <= duration and candidate not in times:
+                    times.append(candidate)
+        return times

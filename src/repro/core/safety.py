@@ -1,0 +1,75 @@
+"""The safety invariant (Section IV-C-1).
+
+Safety means "the UAV does not collide with an obstacle".  The monitor
+detects two things:
+
+* software crashes -- "the invariant monitor checks if the firmware
+  process is still running";
+* physical collisions -- the vehicle "rapidly (de)accelerates but has the
+  same position as another simulated object, e.g. the ground".
+
+The simulator already records collision events with impact speeds (see
+:class:`repro.sim.simulator.CollisionEvent`), so the safety monitor's job
+is to translate those records -- plus the firmware-liveness flag -- into
+unsafe-condition reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.runner import RunResult, TraceSample
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """A single violation of the safety rule."""
+
+    time: float
+    kind: str
+    description: str
+    mode_label: str
+
+
+class SafetyMonitor:
+    """Detects crashes (physical and software) in a run."""
+
+    def __init__(self, impact_speed_threshold: float = 2.0) -> None:
+        self._impact_speed_threshold = impact_speed_threshold
+
+    def check_sample(self, sample: TraceSample) -> Optional[SafetyViolation]:
+        """Online check used while the run executes (fast path).
+
+        Collision events are detected by the simulator itself; the online
+        sample check only exists so the harness can abort a run as soon as
+        ground truth shows the vehicle down and tumbling.
+        """
+        del sample  # per-sample safety state is owned by the simulator
+        return None
+
+    def evaluate(self, result: RunResult) -> List[SafetyViolation]:
+        """Offline evaluation of a completed run."""
+        violations: List[SafetyViolation] = []
+        for collision in result.collisions:
+            if collision.impact_speed < self._impact_speed_threshold:
+                continue
+            mode_label = result.mode_label_at(collision.time)
+            violations.append(
+                SafetyViolation(
+                    time=collision.time,
+                    kind="collision",
+                    description=collision.describe(),
+                    mode_label=mode_label,
+                )
+            )
+        if not result.firmware_process_alive:
+            violations.append(
+                SafetyViolation(
+                    time=result.duration_s,
+                    kind="software-crash",
+                    description="firmware process is no longer running",
+                    mode_label=result.mode_label_at(result.duration_s),
+                )
+            )
+        return violations

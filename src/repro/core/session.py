@@ -1,0 +1,174 @@
+"""Exploration sessions: budget accounting shared by every approach.
+
+The paper gives every approach the same wall-clock budget (2 hours per
+workload) and points out that BFI spends almost all of it *labelling*
+candidate injection sites (~10 s per site) rather than simulating.  The
+reproduction makes that trade-off explicit: a session has a budget in
+abstract units, running one simulation costs ``simulation_cost`` units
+and labelling one candidate costs ``labelling_cost`` units.  Ratios
+matter, absolute values do not; the defaults approximate the paper's
+"a simulation takes minutes, a label takes ten seconds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.runner import RunResult, TestRunner
+from repro.firmware.modes import OperatingModeLabel
+from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario
+from repro.sensors.base import SensorId, SensorRole
+from repro.sensors.suite import SensorSuite, iris_sensor_suite
+
+
+@dataclass
+class BudgetAccount:
+    """Tracks how much of the test budget has been consumed."""
+
+    total_units: float
+    simulation_cost: float = 1.0
+    labelling_cost: float = 0.15
+    spent_units: float = 0.0
+    simulations: int = 0
+    labels: int = 0
+
+    @property
+    def remaining_units(self) -> float:
+        """Budget units still available."""
+        return max(self.total_units - self.spent_units, 0.0)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when not even one more simulation fits in the budget."""
+        return self.remaining_units < self.simulation_cost
+
+    def can_afford_simulation(self) -> bool:
+        """True when one more simulation fits in the budget."""
+        return self.remaining_units >= self.simulation_cost
+
+    def can_afford_label(self) -> bool:
+        """True when one more labelling call fits in the budget."""
+        return self.remaining_units >= self.labelling_cost
+
+    def charge_simulation(self) -> None:
+        """Consume the cost of one simulation."""
+        self.spent_units += self.simulation_cost
+        self.simulations += 1
+
+    def charge_label(self) -> None:
+        """Consume the cost of labelling one candidate injection site."""
+        self.spent_units += self.labelling_cost
+        self.labels += 1
+
+
+class ExplorationSession:
+    """One approach's exploration of the fault space under a budget."""
+
+    def __init__(
+        self,
+        runner: TestRunner,
+        budget: BudgetAccount,
+        profiling_run: RunResult,
+        suite: Optional[SensorSuite] = None,
+    ) -> None:
+        self._runner = runner
+        self._budget = budget
+        self._profiling_run = profiling_run
+        self._suite = suite if suite is not None else iris_sensor_suite()
+        self._results: List[RunResult] = []
+        self._explored: Dict[FaultScenario, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    # Context the strategies rely on
+    # ------------------------------------------------------------------
+    @property
+    def runner(self) -> TestRunner:
+        """The test runner executing scenarios for this session."""
+        return self._runner
+
+    @property
+    def budget(self) -> BudgetAccount:
+        """The budget account for this session."""
+        return self._budget
+
+    @property
+    def profiling_run(self) -> RunResult:
+        """The fault-free profiling run (mode transitions, duration)."""
+        return self._profiling_run
+
+    @property
+    def mission_duration(self) -> float:
+        """Duration of the fault-free run, in simulated seconds."""
+        return self._profiling_run.duration_s
+
+    @property
+    def transition_times(self) -> List[float]:
+        """Times of the operating-mode transitions in the profiling run."""
+        return self._profiling_run.transition_times
+
+    @property
+    def sensor_ids(self) -> List[SensorId]:
+        """Every sensor instance available for fault injection."""
+        return self._suite.sensor_ids
+
+    def sensor_role(self, sensor_id: SensorId) -> SensorRole:
+        """Role (primary/backup) of a sensor instance."""
+        return self._suite.role_of(sensor_id)
+
+    def mode_label_at(self, time: float) -> str:
+        """Operating-mode label at ``time`` in the profiling run."""
+        return self._profiling_run.mode_label_at(time)
+
+    def mode_category_at(self, time: float) -> str:
+        """Table IV mode category at ``time`` in the profiling run."""
+        return OperatingModeLabel.mode_category(self.mode_label_at(time))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> List[RunResult]:
+        """Every run executed by this session, in order."""
+        return list(self._results)
+
+    @property
+    def unsafe_results(self) -> List[RunResult]:
+        """Runs that produced at least one unsafe condition."""
+        return [result for result in self._results if result.found_unsafe_condition]
+
+    @property
+    def explored_scenarios(self) -> Set[FaultScenario]:
+        """Scenarios already simulated (the scheduler's hash-set)."""
+        return set(self._explored)
+
+    def was_explored(self, scenario: FaultScenario) -> bool:
+        """True when ``scenario`` has already been simulated."""
+        return scenario in self._explored
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def run_scenario(self, scenario: FaultScenario) -> Optional[RunResult]:
+        """Simulate ``scenario`` (once), charging the simulation cost.
+
+        Returns ``None`` when the budget cannot afford another simulation;
+        returns the cached result when the scenario was already explored
+        (no extra charge -- the scheduler skips redundant exploration).
+        """
+        if scenario in self._explored:
+            return self._explored[scenario]
+        if not self._budget.can_afford_simulation():
+            return None
+        self._budget.charge_simulation()
+        result = self._runner.run(scenario)
+        self._explored[scenario] = result
+        self._results.append(result)
+        return result
+
+    def charge_label(self) -> bool:
+        """Charge one candidate-labelling call; False when unaffordable."""
+        if not self._budget.can_afford_label():
+            return False
+        self._budget.charge_label()
+        return True

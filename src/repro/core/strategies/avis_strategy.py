@@ -1,0 +1,45 @@
+"""Avis's own search strategy: SABRE plus redundancy pruning."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.sabre import SabreSearch
+from repro.core.session import ExplorationSession
+from repro.core.strategies.base import SearchStrategy, StrategyFeatures
+from repro.sensors.base import SensorId
+
+
+class AvisStrategy(SearchStrategy):
+    """The paper's approach (column "Avis" of Table I)."""
+
+    name = "avis"
+    features = StrategyFeatures(
+        targets_mode_transitions=True,
+        uses_prior_bugs=True,
+        searches_dissimilar_first=True,
+    )
+
+    def __init__(
+        self,
+        failures: Optional[Sequence[SensorId]] = None,
+        max_concurrent_failures: int = 2,
+        time_quantum_s: float = 1.0,
+        max_scenarios_per_dequeue: Optional[int] = 6,
+    ) -> None:
+        self._failures = failures
+        self._max_concurrent = max_concurrent_failures
+        self._time_quantum = time_quantum_s
+        self._per_dequeue = max_scenarios_per_dequeue
+        self.last_search: Optional[SabreSearch] = None
+
+    def explore(self, session: ExplorationSession) -> None:
+        search = SabreSearch(
+            session=session,
+            failures=self._failures,
+            max_concurrent_failures=self._max_concurrent,
+            time_quantum_s=self._time_quantum,
+            max_scenarios_per_dequeue=self._per_dequeue,
+        )
+        self.last_search = search
+        search.run()

@@ -1,0 +1,44 @@
+"""The common interface of the fault-injection search strategies."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.session import ExplorationSession
+
+
+@dataclass(frozen=True)
+class StrategyFeatures:
+    """The qualitative feature matrix of Table I."""
+
+    targets_mode_transitions: bool
+    uses_prior_bugs: bool
+    searches_dissimilar_first: bool
+
+    def as_row(self) -> tuple:
+        """Render as the check-mark row used by the Table I benchmark."""
+        def mark(flag: bool) -> str:
+            return "yes" if flag else "no"
+
+        return (
+            mark(self.targets_mode_transitions),
+            mark(self.uses_prior_bugs),
+            mark(self.searches_dissimilar_first),
+        )
+
+
+class SearchStrategy(abc.ABC):
+    """Base class for every fault-space search strategy."""
+
+    #: Human-readable name used in result tables.
+    name: str = "strategy"
+    #: The Table I feature row for this strategy.
+    features: StrategyFeatures = StrategyFeatures(False, False, False)
+
+    @abc.abstractmethod
+    def explore(self, session: ExplorationSession) -> None:
+        """Explore the fault space until the session budget runs out."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} '{self.name}'>"

@@ -1,0 +1,62 @@
+"""Random fault injection (the "Rnd" column of Table I).
+
+"Random fault injection chose fault injection sites from all sensor
+readings with equal probability.  It also chose failure scenarios for
+simulation randomly."  Every iteration picks a uniformly random set of
+sensor instances and a uniformly random injection time for each, then
+simulates.  Because the bug-manifesting windows are narrow slices of the
+(sensor, time) space, random sampling rarely lands inside one -- the
+measured inefficiency that motivates the stratified search.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.session import ExplorationSession
+from repro.core.strategies.base import SearchStrategy, StrategyFeatures
+from repro.hinj.faults import FaultScenario, FaultSpec
+
+
+class RandomInjection(SearchStrategy):
+    """Uniform random sampling of fault scenarios."""
+
+    name = "random"
+    features = StrategyFeatures(
+        targets_mode_transitions=False,
+        uses_prior_bugs=False,
+        searches_dissimilar_first=True,
+    )
+
+    def __init__(
+        self,
+        rng_seed: int = 11,
+        max_concurrent_failures: int = 2,
+        max_iterations: Optional[int] = None,
+    ) -> None:
+        self._rng = random.Random(rng_seed)
+        self._max_concurrent = max(1, max_concurrent_failures)
+        self._max_iterations = max_iterations
+        self.simulations_run = 0
+
+    def explore(self, session: ExplorationSession) -> None:
+        sensors = session.sensor_ids
+        duration = max(session.mission_duration, 1.0)
+        iterations = 0
+        while not session.budget.exhausted:
+            if self._max_iterations is not None and iterations >= self._max_iterations:
+                return
+            iterations += 1
+            count = self._rng.randint(1, self._max_concurrent)
+            chosen = self._rng.sample(sensors, min(count, len(sensors)))
+            scenario = FaultScenario(
+                FaultSpec(sensor_id, round(self._rng.uniform(0.0, duration), 2))
+                for sensor_id in chosen
+            )
+            if session.was_explored(scenario):
+                continue
+            result = session.run_scenario(scenario)
+            if result is None:
+                return
+            self.simulations_run += 1

@@ -1,0 +1,49 @@
+"""The ArduPilot-flavoured firmware (ArduCopter 3.6.9 analogue)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.firmware.base import ControlFirmware
+from repro.firmware.bugs import BugRegistry, ardupilot_bug_registry
+from repro.firmware.modes import ARDUPILOT_MODE_NAMES
+from repro.firmware.params import ARDUPILOT_DEFAULT_PARAMETERS, FirmwareParameters
+from repro.hinj.instrumentation import HinjInterface
+from repro.mavlink.link import MavLink
+from repro.sensors.suite import SensorSuite, iris_sensor_suite
+from repro.sim.environment import Environment
+from repro.sim.vehicle import IRIS_QUADCOPTER, AirframeParameters
+
+
+class ArduPilotFirmware(ControlFirmware):
+    """ArduCopter-style firmware.
+
+    Ships with the six latent (previously unknown) ArduPilot bugs of
+    Table II enabled, and the four previously-known ArduPilot bugs of
+    Table V registered but disabled until re-inserted.
+    """
+
+    name = "ardupilot"
+    mode_name_table = ARDUPILOT_MODE_NAMES
+
+    def __init__(
+        self,
+        suite: Optional[SensorSuite] = None,
+        airframe: AirframeParameters = IRIS_QUADCOPTER,
+        params: Optional[FirmwareParameters] = None,
+        environment: Optional[Environment] = None,
+        link: Optional[MavLink] = None,
+        hinj: Optional[HinjInterface] = None,
+        bug_registry: Optional[BugRegistry] = None,
+        dt: float = 0.02,
+    ) -> None:
+        super().__init__(
+            suite=suite if suite is not None else iris_sensor_suite(),
+            airframe=airframe,
+            params=params if params is not None else ARDUPILOT_DEFAULT_PARAMETERS,
+            environment=environment,
+            link=link,
+            hinj=hinj,
+            bug_registry=bug_registry if bug_registry is not None else ardupilot_bug_registry(),
+            dt=dt,
+        )

@@ -1,0 +1,332 @@
+"""The firmware's fused state estimator.
+
+ArduPilot and PX4 both run an extended Kalman filter fusing IMU, GPS,
+compass and barometer data (Figure 2 of the paper).  The reproduction
+uses complementary filters -- the same fusion structure (inertial
+propagation corrected by absolute measurements) with far less machinery
+-- because what Avis exercises is not estimation accuracy but the
+estimator's *fail-over behaviour*: which source is trusted for each
+quantity, what happens when the active instance of a type fails, and how
+the rest of the firmware reacts to degraded estimates.
+
+Fail-over rules (mirroring the stock firmware behaviour):
+
+* gyroscope / accelerometer / compass: the primary instance is used; when
+  it fails the first healthy backup takes over transparently.
+* barometer: primary altitude source; when every barometer has failed the
+  estimator falls back to GPS altitude and flags the altitude as degraded.
+* GPS: sole horizontal-position source; when it fails the estimator dead
+  reckons on the accelerometer and declares the position invalid after a
+  configurable timeout.
+* battery: not fused; its health is tracked for the fail-safe manager.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Mapping, Optional, Set
+
+from repro.firmware.params import FirmwareParameters
+from repro.sensors.base import SensorId, SensorReading, SensorRole, SensorType
+from repro.sensors.suite import SensorSuite
+from repro.sim.physics import GRAVITY
+from repro.sim.state import wrap_angle
+
+
+@dataclass(frozen=True)
+class EstimatorStatus:
+    """Health summary of the estimator's input sources."""
+
+    healthy_types: FrozenSet[SensorType] = frozenset()
+    failed_types: FrozenSet[SensorType] = frozenset()
+    altitude_source: str = "barometer"
+    position_valid: bool = True
+    heading_valid: bool = True
+
+    def is_healthy(self, sensor_type: SensorType) -> bool:
+        """True when at least one instance of ``sensor_type`` still works."""
+        return sensor_type in self.healthy_types
+
+
+@dataclass
+class StateEstimate:
+    """The estimator's current belief about the vehicle state."""
+
+    time: float = 0.0
+    north: float = 0.0
+    east: float = 0.0
+    altitude: float = 0.0
+    vel_north: float = 0.0
+    vel_east: float = 0.0
+    climb_rate: float = 0.0
+    roll: float = 0.0
+    pitch: float = 0.0
+    yaw: float = 0.0
+    status: EstimatorStatus = field(default_factory=EstimatorStatus)
+
+    @property
+    def horizontal_position(self) -> tuple:
+        """``(north, east)`` in metres."""
+        return (self.north, self.east)
+
+    def horizontal_distance_to(self, north: float, east: float) -> float:
+        """Horizontal distance from the estimate to a target point."""
+        return math.hypot(self.north - north, self.east - east)
+
+    def copy(self) -> "StateEstimate":
+        """Return an independent copy of the estimate."""
+        return replace(self, status=self.status)
+
+
+@dataclass(frozen=True)
+class SensorFailureEvent:
+    """An instance failure noticed by the estimator this update."""
+
+    sensor_id: SensorId
+    time: float
+    #: True when the failed instance was the one the estimator was
+    #: actively using (primary, or a backup that had already taken over).
+    was_active_instance: bool
+    #: True when no healthy instance of the type remains.
+    type_exhausted: bool
+
+
+class StateEstimator:
+    """Complementary-filter state estimator with explicit fail-over."""
+
+    # Correction gains per update (tuned for 50 Hz; scale with dt).
+    ALTITUDE_GAIN = 3.0          # 1/s pull of altitude toward measurement
+    CLIMB_GAIN = 1.5             # 1/s pull of climb rate toward measurement
+    POSITION_GAIN = 2.5
+    VELOCITY_GAIN = 2.0
+    HEADING_GAIN = 2.0
+    ATTITUDE_DECAY = 0.5
+
+    def __init__(self, suite: SensorSuite, params: FirmwareParameters) -> None:
+        self._suite = suite
+        self._params = params
+        self._estimate = StateEstimate()
+        self._active_instance: Dict[SensorType, Optional[SensorId]] = {}
+        self._known_failed: Set[SensorId] = set()
+        self._gps_last_seen = 0.0
+        self._initialised = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def estimate(self) -> StateEstimate:
+        """The current state estimate."""
+        return self._estimate
+
+    @property
+    def status(self) -> EstimatorStatus:
+        """The current source-health summary."""
+        return self._estimate.status
+
+    def active_instance(self, sensor_type: SensorType) -> Optional[SensorId]:
+        """The instance currently trusted for ``sensor_type`` (if any)."""
+        return self._active_instance.get(sensor_type)
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        readings: Mapping[SensorId, SensorReading],
+        dt: float,
+        time: float,
+    ) -> tuple:
+        """Fuse one set of readings.
+
+        Returns ``(estimate, failure_events)`` where ``failure_events``
+        lists the instance failures newly observed during this update --
+        the firmware's fail-safe manager (and through it the bug registry)
+        consumes them.
+        """
+        failure_events = self._detect_failures(readings, time)
+
+        gyro = self._select(readings, SensorType.GYROSCOPE)
+        accel = self._select(readings, SensorType.ACCELEROMETER)
+        compass = self._select(readings, SensorType.COMPASS)
+        gps = self._select(readings, SensorType.GPS)
+        baro = self._select(readings, SensorType.BAROMETER)
+
+        self._update_attitude(gyro, accel, dt)
+        self._update_heading(gyro, compass, dt)
+        self._update_vertical(accel, baro, gps, dt)
+        self._update_horizontal(accel, gps, dt, time)
+        self._update_status(time)
+        self._estimate.time = time
+
+        if not self._initialised:
+            self._initialised = True
+        return self._estimate, failure_events
+
+    # ------------------------------------------------------------------
+    # Source selection and failure detection
+    # ------------------------------------------------------------------
+    def _select(
+        self, readings: Mapping[SensorId, SensorReading], sensor_type: SensorType
+    ) -> Optional[SensorReading]:
+        """Pick the reading from the highest-priority healthy instance."""
+        reading = self._suite.read_active(readings, sensor_type)
+        self._active_instance[sensor_type] = reading.sensor_id if reading else None
+        return reading
+
+    def _detect_failures(
+        self, readings: Mapping[SensorId, SensorReading], time: float
+    ) -> list:
+        """Find instance failures that appeared in this batch of readings."""
+        events = []
+        for sensor_id, reading in sorted(readings.items()):
+            if not reading.failed or sensor_id in self._known_failed:
+                continue
+            self._known_failed.add(sensor_id)
+            previously_active = self._active_instance.get(sensor_id.sensor_type)
+            was_active = previously_active is None or previously_active == sensor_id
+            if previously_active is None:
+                # First update: the primary is by definition the active one.
+                was_active = self._suite.role_of(sensor_id) == SensorRole.PRIMARY
+            type_exhausted = self._suite.all_failed(sensor_id.sensor_type)
+            events.append(
+                SensorFailureEvent(
+                    sensor_id=sensor_id,
+                    time=time,
+                    was_active_instance=was_active,
+                    type_exhausted=type_exhausted,
+                )
+            )
+        return events
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+    def _update_attitude(
+        self,
+        gyro: Optional[SensorReading],
+        accel: Optional[SensorReading],
+        dt: float,
+    ) -> None:
+        est = self._estimate
+        if gyro is not None:
+            est.roll += gyro.value("roll_rate") * dt
+            est.pitch += gyro.value("pitch_rate") * dt
+        # Without an accelerometer the tilt estimate slowly decays to level,
+        # which is what a gyro-only estimate with leak does.
+        decay = self.ATTITUDE_DECAY * dt
+        if accel is not None:
+            # Gravity direction gives an absolute tilt reference.
+            ax = accel.value("accel_x")
+            ay = accel.value("accel_y")
+            az = max(accel.value("accel_z"), 1.0)
+            pitch_meas = math.atan2(-ax, az)
+            roll_meas = math.atan2(ay, az)
+            est.roll += (roll_meas - est.roll) * decay
+            est.pitch += (pitch_meas - est.pitch) * decay
+        else:
+            est.roll -= est.roll * decay
+            est.pitch -= est.pitch * decay
+
+    def _update_heading(
+        self,
+        gyro: Optional[SensorReading],
+        compass: Optional[SensorReading],
+        dt: float,
+    ) -> None:
+        est = self._estimate
+        if gyro is not None:
+            est.yaw = wrap_angle(est.yaw + gyro.value("yaw_rate") * dt)
+        if compass is not None:
+            error = wrap_angle(compass.value("heading") - est.yaw)
+            est.yaw = wrap_angle(est.yaw + error * self.HEADING_GAIN * dt)
+
+    def _vertical_acceleration(self, accel: Optional[SensorReading]) -> float:
+        """World-frame vertical acceleration derived from the accelerometer."""
+        if accel is None:
+            return 0.0
+        est = self._estimate
+        specific_up = (
+            accel.value("accel_z") * math.cos(est.roll) * math.cos(est.pitch)
+            + accel.value("accel_x") * math.sin(est.pitch)
+            - accel.value("accel_y") * math.sin(est.roll)
+        )
+        return specific_up - GRAVITY
+
+    def _update_vertical(
+        self,
+        accel: Optional[SensorReading],
+        baro: Optional[SensorReading],
+        gps: Optional[SensorReading],
+        dt: float,
+    ) -> None:
+        est = self._estimate
+        est.climb_rate += self._vertical_acceleration(accel) * dt
+        est.altitude += est.climb_rate * dt
+
+        if baro is not None:
+            measurement: Optional[float] = baro.value("altitude")
+        elif gps is not None:
+            measurement = gps.value("altitude")
+        else:
+            measurement = None
+
+        if measurement is not None:
+            innovation = measurement - est.altitude
+            est.altitude += innovation * self.ALTITUDE_GAIN * dt
+            est.climb_rate += innovation * self.CLIMB_GAIN * dt
+
+    def _update_horizontal(
+        self,
+        accel: Optional[SensorReading],
+        gps: Optional[SensorReading],
+        dt: float,
+        time: float,
+    ) -> None:
+        est = self._estimate
+        # Inertial propagation: tilt produces horizontal acceleration.
+        accel_forward = GRAVITY * math.tan(est.pitch)
+        accel_right = GRAVITY * math.tan(est.roll)
+        accel_north = accel_forward * math.cos(est.yaw) - accel_right * math.sin(est.yaw)
+        accel_east = accel_forward * math.sin(est.yaw) + accel_right * math.cos(est.yaw)
+        if accel is None:
+            accel_north = 0.0
+            accel_east = 0.0
+        est.vel_north += accel_north * dt
+        est.vel_east += accel_east * dt
+        est.north += est.vel_north * dt
+        est.east += est.vel_east * dt
+
+        if gps is not None:
+            self._gps_last_seen = time
+            pos_gain = self.POSITION_GAIN * dt
+            vel_gain = self.VELOCITY_GAIN * dt
+            est.north += (gps.value("north") - est.north) * pos_gain
+            est.east += (gps.value("east") - est.east) * pos_gain
+            est.vel_north += (gps.value("vel_north") - est.vel_north) * vel_gain
+            est.vel_east += (gps.value("vel_east") - est.vel_east) * vel_gain
+
+    def _update_status(self, time: float) -> None:
+        healthy = frozenset(
+            sensor_type
+            for sensor_type in self._suite.sensor_types
+            if not self._suite.all_failed(sensor_type)
+        )
+        failed = frozenset(set(self._suite.sensor_types) - set(healthy))
+        gps_failed = SensorType.GPS in failed
+        baro_failed = SensorType.BAROMETER in failed
+        altitude_source = "barometer"
+        if baro_failed:
+            altitude_source = "gps" if not gps_failed else "inertial"
+        position_valid = True
+        if gps_failed and (time - self._gps_last_seen) > self._params.gps_timeout_s:
+            position_valid = False
+        heading_valid = SensorType.COMPASS in healthy or SensorType.GYROSCOPE in healthy
+        self._estimate.status = EstimatorStatus(
+            healthy_types=healthy,
+            failed_types=failed,
+            altitude_source=altitude_source,
+            position_valid=position_valid,
+            heading_valid=heading_valid,
+        )

@@ -1,0 +1,149 @@
+"""Flight modes and operating-mode labels.
+
+Two related notions are kept distinct, matching the paper:
+
+* :class:`FlightMode` is the firmware's internal flight mode -- the state
+  of its mode state machine (ArduPilot exposes 25 of these; we implement
+  the ones the workloads and fail-safes exercise and list the stunt/race
+  modes the paper deliberately leaves untested).
+* The *operating-mode label* is what Avis sees through
+  ``hinj_update_mode``: a label that "maps software execution to
+  corresponding flight operations".  During AUTO missions the label is
+  refined per mission leg (``waypoint-1``, ``waypoint-2`` ...), which is
+  exactly the granularity of Table II's "Failure Starting Moment" column
+  (e.g. "Waypoint 1 -> Waypoint 2").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Optional
+
+
+class FlightMode(enum.Enum):
+    """Internal flight modes of the simulated firmware."""
+
+    PREFLIGHT = "preflight"
+    STABILIZE = "stabilize"
+    ALT_HOLD = "alt_hold"
+    POSHOLD = "poshold"
+    LOITER = "loiter"
+    GUIDED = "guided"
+    TAKEOFF = "takeoff"
+    AUTO = "auto"
+    LAND = "land"
+    RTL = "rtl"
+    ACRO = "acro"
+    SPORT = "sport"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Stunt / race modes.  Section V-A: these relax the firmware's safety
+#: guarantees and are deliberately left untested by the workloads.
+UNTESTED_MODES: FrozenSet[FlightMode] = frozenset({FlightMode.ACRO, FlightMode.SPORT})
+
+#: Modes in which the vehicle is expected to be making progress toward a
+#: mission goal (used by the liveliness analysis in reports).
+MISSION_MODES: FrozenSet[FlightMode] = frozenset(
+    {FlightMode.TAKEOFF, FlightMode.AUTO, FlightMode.GUIDED, FlightMode.RTL}
+)
+
+#: Modes entered by fail-safes that deliberately sacrifice liveliness to
+#: preserve safety.  The invariant monitor treats these as *safe modes*
+#: and applies their dedicated invariants instead of the liveliness rule.
+SAFE_MODES: FrozenSet[FlightMode] = frozenset({FlightMode.RTL, FlightMode.LAND})
+
+
+class OperatingModeLabel:
+    """Helpers for the labels reported through ``hinj_update_mode``."""
+
+    PREFLIGHT = "preflight"
+    TAKEOFF = "takeoff"
+    GUIDED = "guided"
+    LOITER = "loiter"
+    POSHOLD = "poshold"
+    RTL = "rtl"
+    LAND = "land"
+    LANDED = "landed"
+
+    @staticmethod
+    def waypoint(index: int) -> str:
+        """The label for mission leg ``index`` (1-based)."""
+        if index < 1:
+            raise ValueError("waypoint indices are 1-based")
+        return f"waypoint-{index}"
+
+    @staticmethod
+    def is_waypoint(label: str) -> bool:
+        """True when ``label`` is a waypoint-leg label."""
+        return label.startswith("waypoint-")
+
+    @staticmethod
+    def waypoint_index(label: str) -> Optional[int]:
+        """The 1-based leg index encoded in a waypoint label, or None."""
+        if not OperatingModeLabel.is_waypoint(label):
+            return None
+        try:
+            return int(label.split("-", 1)[1])
+        except ValueError:
+            return None
+
+    @staticmethod
+    def mode_category(label: str) -> str:
+        """Collapse a label to the mode category used by Table IV.
+
+        Table IV groups unsafe scenarios into Takeoff / Manual / Waypoint
+        / Land.  Manual covers the position-hold style modes exercised by
+        the first default workload; RTL legs count toward Land since the
+        unsafe conditions there manifest during the descent.
+        """
+        if label == OperatingModeLabel.TAKEOFF:
+            return "takeoff"
+        if OperatingModeLabel.is_waypoint(label) or label == OperatingModeLabel.GUIDED:
+            return "waypoint"
+        if label in (OperatingModeLabel.LAND, OperatingModeLabel.RTL, OperatingModeLabel.LANDED):
+            return "land"
+        if label in (OperatingModeLabel.LOITER, OperatingModeLabel.POSHOLD):
+            return "manual"
+        return "manual" if label != OperatingModeLabel.PREFLIGHT else "takeoff"
+
+
+#: Mapping from the MAVLink ``SET_MODE`` strings each firmware flavour
+#: accepts to the internal :class:`FlightMode`.  The quirks are real:
+#: ArduPilot calls its position-hold mode ``POSHOLD`` while PX4 calls the
+#: equivalent ``POSCTL``; PX4 spells the mission mode ``MISSION`` while
+#: ArduPilot uses ``AUTO``.  The workload framework hides this (Section
+#: IV-A: "implementations have subtle quirks that make it difficult for
+#: users to develop portable workloads").
+ARDUPILOT_MODE_NAMES: Dict[str, FlightMode] = {
+    "STABILIZE": FlightMode.STABILIZE,
+    "ALT_HOLD": FlightMode.ALT_HOLD,
+    "POSHOLD": FlightMode.POSHOLD,
+    "LOITER": FlightMode.LOITER,
+    "GUIDED": FlightMode.GUIDED,
+    "AUTO": FlightMode.AUTO,
+    "LAND": FlightMode.LAND,
+    "RTL": FlightMode.RTL,
+    "ACRO": FlightMode.ACRO,
+    "SPORT": FlightMode.SPORT,
+}
+
+PX4_MODE_NAMES: Dict[str, FlightMode] = {
+    "MANUAL": FlightMode.STABILIZE,
+    "ALTCTL": FlightMode.ALT_HOLD,
+    "POSCTL": FlightMode.POSHOLD,
+    "HOLD": FlightMode.LOITER,
+    "OFFBOARD": FlightMode.GUIDED,
+    "MISSION": FlightMode.AUTO,
+    "AUTO.LAND": FlightMode.LAND,
+    "AUTO.RTL": FlightMode.RTL,
+    "ACRO": FlightMode.ACRO,
+    "RATTITUDE": FlightMode.SPORT,
+}
+
+
+def resolve_mode_name(name: str, table: Dict[str, FlightMode]) -> Optional[FlightMode]:
+    """Resolve a ``SET_MODE`` string against a flavour's mode table."""
+    return table.get(name.strip().upper())

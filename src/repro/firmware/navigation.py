@@ -1,0 +1,168 @@
+"""Cascaded navigation controllers.
+
+The structure mirrors a real multicopter position controller:
+
+    position error -> velocity command -> acceleration command -> lean
+    angles, and altitude error -> climb-rate command -> throttle.
+
+Gains live in :class:`~repro.firmware.params.FirmwareParameters`; limits
+come from the airframe.  The controllers consume the *estimated* state,
+never the simulator's ground truth -- which is exactly why corrupted
+estimates (frozen positions, wrong altitude references) produce the
+fly-aways and crashes the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.firmware.estimator import StateEstimate
+from repro.firmware.params import FirmwareParameters
+from repro.sim.physics import GRAVITY
+from repro.sim.state import wrap_angle
+from repro.sim.vehicle import AirframeParameters
+
+
+@dataclass(frozen=True)
+class NavigationSetpoint:
+    """What the current flight mode wants the vehicle to do."""
+
+    target_north: Optional[float] = None
+    target_east: Optional[float] = None
+    target_altitude: Optional[float] = None
+    #: Direct climb-rate command; overrides the altitude target when set
+    #: (used by LAND and by takeoff's constant-rate climb).
+    climb_rate: Optional[float] = None
+    target_yaw: Optional[float] = None
+    #: Horizontal speed limit for this leg (defaults to the parameter).
+    speed_limit: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AttitudeCommand:
+    """Output of the navigation cascade, consumed by the mixer."""
+
+    roll: float = 0.0
+    pitch: float = 0.0
+    yaw_rate: float = 0.0
+    throttle: float = 0.0
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return min(max(value, low), high)
+
+
+class PositionController:
+    """Horizontal position -> velocity -> acceleration -> lean angles."""
+
+    def __init__(self, params: FirmwareParameters, airframe: AirframeParameters) -> None:
+        self._params = params
+        self._airframe = airframe
+
+    def update(self, estimate: StateEstimate, setpoint: NavigationSetpoint) -> Tuple[float, float]:
+        """Return the commanded ``(roll, pitch)`` lean angles."""
+        params = self._params
+        speed_limit = setpoint.speed_limit or self._airframe.max_horizontal_speed_ms
+
+        if setpoint.target_north is None or setpoint.target_east is None:
+            vel_cmd_north, vel_cmd_east = 0.0, 0.0
+        else:
+            error_north = setpoint.target_north - estimate.north
+            error_east = setpoint.target_east - estimate.east
+            vel_cmd_north = params.position_p * error_north
+            vel_cmd_east = params.position_p * error_east
+            speed = math.hypot(vel_cmd_north, vel_cmd_east)
+            if speed > speed_limit and speed > 0.0:
+                scale = speed_limit / speed
+                vel_cmd_north *= scale
+                vel_cmd_east *= scale
+
+        accel_north = params.velocity_p * (vel_cmd_north - estimate.vel_north)
+        accel_east = params.velocity_p * (vel_cmd_east - estimate.vel_east)
+        accel_limit = params.max_horizontal_accel_ms2
+        accel_north = _clamp(accel_north, -accel_limit, accel_limit)
+        accel_east = _clamp(accel_east, -accel_limit, accel_limit)
+
+        # Decompose the world-frame acceleration into body-frame lean
+        # angles using the *estimated* heading.
+        yaw = estimate.yaw
+        accel_forward = accel_north * math.cos(yaw) + accel_east * math.sin(yaw)
+        accel_right = -accel_north * math.sin(yaw) + accel_east * math.cos(yaw)
+        max_tilt = self._airframe.max_tilt_rad
+        pitch = _clamp(accel_forward / GRAVITY, -max_tilt, max_tilt)
+        roll = _clamp(accel_right / GRAVITY, -max_tilt, max_tilt)
+        return roll, pitch
+
+
+class AltitudeController:
+    """Altitude -> climb rate -> throttle."""
+
+    def __init__(self, params: FirmwareParameters, airframe: AirframeParameters) -> None:
+        self._params = params
+        self._airframe = airframe
+
+    def climb_rate_command(
+        self, estimate: StateEstimate, setpoint: NavigationSetpoint
+    ) -> float:
+        """The climb rate (m/s) the vertical loop should track."""
+        params = self._params
+        airframe = self._airframe
+        if setpoint.climb_rate is not None:
+            return _clamp(
+                setpoint.climb_rate,
+                -airframe.max_descent_rate_ms,
+                airframe.max_climb_rate_ms,
+            )
+        if setpoint.target_altitude is None:
+            return 0.0
+        error = setpoint.target_altitude - estimate.altitude
+        return _clamp(
+            params.altitude_p * error,
+            -airframe.max_descent_rate_ms,
+            airframe.max_climb_rate_ms,
+        )
+
+    def update(self, estimate: StateEstimate, setpoint: NavigationSetpoint) -> float:
+        """Return the commanded throttle fraction (0..1)."""
+        climb_cmd = self.climb_rate_command(estimate, setpoint)
+        throttle = self._airframe.hover_throttle + self._params.climb_rate_p * (
+            climb_cmd - estimate.climb_rate
+        )
+        return _clamp(throttle, 0.0, 1.0)
+
+
+class YawController:
+    """Heading hold / heading tracking."""
+
+    def __init__(self, params: FirmwareParameters, airframe: AirframeParameters) -> None:
+        self._params = params
+        self._airframe = airframe
+
+    def update(self, estimate: StateEstimate, setpoint: NavigationSetpoint) -> float:
+        """Return the commanded yaw rate (rad/s)."""
+        if setpoint.target_yaw is None:
+            return 0.0
+        error = wrap_angle(setpoint.target_yaw - estimate.yaw)
+        return _clamp(
+            self._params.yaw_p * error,
+            -self._airframe.max_yaw_rate_rads,
+            self._airframe.max_yaw_rate_rads,
+        )
+
+
+class NavigationStack:
+    """Bundles the three controllers behind one update call."""
+
+    def __init__(self, params: FirmwareParameters, airframe: AirframeParameters) -> None:
+        self.position = PositionController(params, airframe)
+        self.altitude = AltitudeController(params, airframe)
+        self.yaw = YawController(params, airframe)
+
+    def update(self, estimate: StateEstimate, setpoint: NavigationSetpoint) -> AttitudeCommand:
+        """Run the full cascade for one control period."""
+        roll, pitch = self.position.update(estimate, setpoint)
+        throttle = self.altitude.update(estimate, setpoint)
+        yaw_rate = self.yaw.update(estimate, setpoint)
+        return AttitudeCommand(roll=roll, pitch=pitch, yaw_rate=yaw_rate, throttle=throttle)

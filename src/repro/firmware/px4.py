@@ -1,0 +1,56 @@
+"""The PX4-flavoured firmware (PX4 1.9.0 analogue)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.firmware.base import ControlFirmware
+from repro.firmware.bugs import BugRegistry, px4_bug_registry
+from repro.firmware.modes import PX4_MODE_NAMES
+from repro.firmware.params import FirmwareParameters, PX4_DEFAULT_PARAMETERS
+from repro.hinj.instrumentation import HinjInterface
+from repro.mavlink.link import MavLink
+from repro.sensors.suite import SensorSuite, iris_sensor_suite
+from repro.sim.environment import Environment
+from repro.sim.vehicle import IRIS_QUADCOPTER, AirframeParameters
+
+
+class Px4Firmware(ControlFirmware):
+    """PX4-style firmware.
+
+    Ships with the four latent (previously unknown) PX4 bugs of Table II
+    enabled, and the previously-known PX4-13291 registered but disabled
+    until re-inserted.
+    """
+
+    name = "px4"
+    mode_name_table = PX4_MODE_NAMES
+
+    def __init__(
+        self,
+        suite: Optional[SensorSuite] = None,
+        airframe: AirframeParameters = IRIS_QUADCOPTER,
+        params: Optional[FirmwareParameters] = None,
+        environment: Optional[Environment] = None,
+        link: Optional[MavLink] = None,
+        hinj: Optional[HinjInterface] = None,
+        bug_registry: Optional[BugRegistry] = None,
+        dt: float = 0.02,
+    ) -> None:
+        super().__init__(
+            suite=suite if suite is not None else iris_sensor_suite(),
+            airframe=airframe,
+            params=params if params is not None else PX4_DEFAULT_PARAMETERS,
+            environment=environment,
+            link=link,
+            hinj=hinj,
+            bug_registry=bug_registry if bug_registry is not None else px4_bug_registry(),
+            dt=dt,
+        )
+
+
+FIRMWARE_FLAVOURS = {
+    "ardupilot": "repro.firmware.ardupilot.ArduPilotFirmware",
+    "px4": "repro.firmware.px4.Px4Firmware",
+}
+"""Names of the shipped firmware flavours (for documentation/tests)."""

@@ -1,0 +1,34 @@
+"""The ``libhinj`` equivalent: driver instrumentation and fault scheduling.
+
+In the paper, ``libhinj`` is a small C library linked into ArduPilot and
+PX4 that (1) reports every operating-mode change to Avis through
+``hinj_update_mode()`` and (2) intercepts each sensor driver's ``read()``
+to ask Avis's scheduler whether the read should fail.  The scheduler, in
+turn, executes the fault scenario chosen by the search strategy.
+
+This package reproduces both halves in-process:
+
+* :class:`~repro.hinj.faults.FaultSpec` / :class:`~repro.hinj.faults.FaultScenario`
+  describe *what* to fail and *when* -- the ``(Timestamp, Fault)`` tuples
+  of Section V-B.
+* :class:`~repro.hinj.scheduler.FaultScheduler` answers the per-read
+  "should this instance fail now?" query and records the injections it
+  actually performed.
+* :class:`~repro.hinj.instrumentation.HinjInterface` is the firmware-facing
+  API: ``update_mode()`` reports mode transitions, ``install()`` hooks the
+  sensor suite's read path.
+"""
+
+from repro.hinj.faults import FaultScenario, FaultSpec, scenario_from_pairs
+from repro.hinj.instrumentation import HinjInterface, ModeTransition
+from repro.hinj.scheduler import FaultScheduler, InjectionRecord
+
+__all__ = [
+    "FaultScenario",
+    "FaultScheduler",
+    "FaultSpec",
+    "HinjInterface",
+    "InjectionRecord",
+    "ModeTransition",
+    "scenario_from_pairs",
+]

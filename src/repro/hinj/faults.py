@@ -1,0 +1,153 @@
+"""Fault specifications: what to fail, and when.
+
+The paper's scheduler "represents a fault injection scenario as a set of
+tuples (Timestamp, Fault), where the fault component describes the
+injected fault (e.g. sensor and instance) and the timestamp is the
+simulation time when the fault was injected".  :class:`FaultSpec` is one
+such tuple and :class:`FaultScenario` is the (immutable, hashable) set,
+so scenarios can be stored in the scheduler's already-explored hash-set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sensors.base import SensorId, SensorType
+
+
+@dataclass(frozen=True, order=True)
+class FaultSpec:
+    """A single clean sensor failure scheduled at a simulation time.
+
+    Attributes
+    ----------
+    sensor_id:
+        The sensor instance that stops communicating.
+    start_time:
+        Simulation time (seconds) at which the failure becomes active.
+        From that moment on, every read of the instance reports failure
+        and the instance never recovers within the run.
+    """
+
+    sensor_id: SensorId
+    start_time: float
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0.0:
+            raise ValueError("a fault cannot start before the simulation begins")
+
+    def active_at(self, time: float) -> bool:
+        """True when the failure should be in effect at ``time``."""
+        return time >= self.start_time
+
+    def describe(self) -> str:
+        """Short human readable description used in reports."""
+        return f"{self.sensor_id.label} fails at t={self.start_time:.2f}s"
+
+
+class FaultScenario:
+    """An immutable set of :class:`FaultSpec` forming one test scenario."""
+
+    __slots__ = ("_faults",)
+
+    def __init__(self, faults: Iterable[FaultSpec] = ()) -> None:
+        self._faults: FrozenSet[FaultSpec] = frozenset(faults)
+
+    # ------------------------------------------------------------------
+    # Set-like behaviour
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(sorted(self._faults))
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __contains__(self, fault: FaultSpec) -> bool:
+        return fault in self._faults
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultScenario):
+            return NotImplemented
+        return self._faults == other._faults
+
+    def __hash__(self) -> int:
+        return hash(self._faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f.describe() for f in self)
+        return f"FaultScenario({{{inner}}})"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True for the fault-free (golden / profiling) scenario."""
+        return not self._faults
+
+    @property
+    def faults(self) -> List[FaultSpec]:
+        """The faults, sorted for stable display."""
+        return sorted(self._faults)
+
+    @property
+    def sensor_ids(self) -> List[SensorId]:
+        """The failed sensor instances, sorted, without duplicates."""
+        return sorted({fault.sensor_id for fault in self._faults})
+
+    @property
+    def sensor_types(self) -> List[SensorType]:
+        """The failed sensor types, without duplicates."""
+        seen: List[SensorType] = []
+        for sensor_id in self.sensor_ids:
+            if sensor_id.sensor_type not in seen:
+                seen.append(sensor_id.sensor_type)
+        return seen
+
+    @property
+    def earliest_time(self) -> Optional[float]:
+        """Time of the first scheduled failure, or None when empty."""
+        if not self._faults:
+            return None
+        return min(fault.start_time for fault in self._faults)
+
+    def fault_for(self, sensor_id: SensorId) -> Optional[FaultSpec]:
+        """The fault scheduled for ``sensor_id``, if any (earliest wins)."""
+        candidates = [f for f in self._faults if f.sensor_id == sensor_id]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda fault: fault.start_time)
+
+    def should_fail(self, sensor_id: SensorId, time: float) -> bool:
+        """True when ``sensor_id`` should report failure at ``time``."""
+        fault = self.fault_for(sensor_id)
+        return fault is not None and fault.active_at(time)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def extended(self, extra: Iterable[FaultSpec]) -> "FaultScenario":
+        """Return a new scenario with ``extra`` faults added."""
+        return FaultScenario(set(self._faults) | set(extra))
+
+    def shifted(self, offset: float) -> "FaultScenario":
+        """Return a copy with every fault time shifted by ``offset``."""
+        return FaultScenario(
+            FaultSpec(f.sensor_id, max(f.start_time + offset, 0.0)) for f in self._faults
+        )
+
+    def describe(self) -> str:
+        """Multi-fault description used in reports."""
+        if self.is_empty:
+            return "no injected faults (golden run)"
+        return "; ".join(fault.describe() for fault in self)
+
+
+#: The fault-free scenario used for profiling/golden runs.
+EMPTY_SCENARIO = FaultScenario()
+
+
+def scenario_from_pairs(pairs: Sequence[Tuple[SensorId, float]]) -> FaultScenario:
+    """Build a scenario from ``(sensor_id, start_time)`` pairs."""
+    return FaultScenario(FaultSpec(sensor_id, time) for sensor_id, time in pairs)

@@ -1,0 +1,107 @@
+"""The fault scheduler: decides, per sensor read, whether to inject.
+
+This is the Python analogue of the paper's scheduler process.  The real
+scheduler answers RPCs issued from ``libhinj`` calls embedded in the
+driver ``read()`` procedures; here the scheduler object is handed to the
+sensor suite as the fail-decision hook, so the query happens in-process
+with identical semantics: the scheduler is consulted on every read, and
+when the current scenario schedules a failure for that instance at or
+before the current time, the read fails and the instance stays failed.
+
+The scheduler also keeps the record of injections it actually performed
+(the first read at which each fault took effect), which is what bug
+replay uses to line injections up with mode transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario
+from repro.sensors.base import SensorId
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """A fault the scheduler actually injected during a run."""
+
+    sensor_id: SensorId
+    scheduled_time: float
+    injected_time: float
+
+    @property
+    def delay(self) -> float:
+        """Latency between the scheduled time and the read that applied it."""
+        return self.injected_time - self.scheduled_time
+
+
+class FaultScheduler:
+    """Executes one :class:`FaultScenario` during a simulated run."""
+
+    def __init__(self, scenario: FaultScenario = EMPTY_SCENARIO) -> None:
+        self._scenario = scenario
+        self._injected: Dict[SensorId, InjectionRecord] = {}
+        self._query_count = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def scenario(self) -> FaultScenario:
+        """The scenario this scheduler is executing."""
+        return self._scenario
+
+    def load_scenario(self, scenario: FaultScenario) -> None:
+        """Replace the scenario and clear the injection record.
+
+        Avis provisions a new firmware + simulator instance per test, so
+        in practice a fresh scheduler is created per run; ``load_scenario``
+        exists for tests and for replay, which reuses one scheduler.
+        """
+        self._scenario = scenario
+        self._injected = {}
+        self._query_count = 0
+
+    # ------------------------------------------------------------------
+    # The libhinj query (Step 4 of Figure 7)
+    # ------------------------------------------------------------------
+    def should_fail(self, sensor_id: SensorId, time: float) -> bool:
+        """Answer a driver's "should this read fail?" query."""
+        self._query_count += 1
+        fault = self._scenario.fault_for(sensor_id)
+        if fault is None or not fault.active_at(time):
+            return False
+        if sensor_id not in self._injected:
+            self._injected[sensor_id] = InjectionRecord(
+                sensor_id=sensor_id,
+                scheduled_time=fault.start_time,
+                injected_time=time,
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def query_count(self) -> int:
+        """Number of fail-decision queries answered so far."""
+        return self._query_count
+
+    @property
+    def injections(self) -> List[InjectionRecord]:
+        """Faults that have actually been applied, in injection order."""
+        return sorted(self._injected.values(), key=lambda record: record.injected_time)
+
+    @property
+    def injected_sensor_ids(self) -> Set[SensorId]:
+        """The sensor instances failed so far."""
+        return set(self._injected)
+
+    def pending_faults(self, time: float) -> List[SensorId]:
+        """Sensor instances with scheduled faults not yet applied at ``time``."""
+        pending = []
+        for fault in self._scenario:
+            if fault.sensor_id not in self._injected and fault.start_time > time:
+                pending.append(fault.sensor_id)
+        return pending

@@ -1,0 +1,65 @@
+"""A MAVLink-like ground-control protocol.
+
+The paper's workloads speak MAVLink to the firmware through a ground
+control station, and Section V-A explains why that is painful: the
+*vehicle* drives most transactions (e.g. mission upload is
+count/request/item/ack with the vehicle asking for each item), which
+creates deadlock hazards when everything runs in lock-step and makes
+even simple missions awkward to express.  The workload framework exists
+to hide those transactions.
+
+This package reproduces the protocol semantics the framework needs:
+
+* :mod:`repro.mavlink.messages` -- message dataclasses (heartbeat,
+  command, set-mode, the mission micro-service, telemetry).
+* :mod:`repro.mavlink.link` -- an in-process, queue-based link between a
+  ground-control station and the firmware.
+* :mod:`repro.mavlink.mission` -- mission items and the upload handshake
+  state machines for both ends.
+* :mod:`repro.mavlink.gcs` -- the ground-control station used by the
+  workload framework.
+"""
+
+from repro.mavlink.gcs import GroundControlStation
+from repro.mavlink.link import MavLink
+from repro.mavlink.messages import (
+    CommandAck,
+    CommandLong,
+    GlobalPosition,
+    Heartbeat,
+    MavCommand,
+    MavResult,
+    Message,
+    MissionAck,
+    MissionCount,
+    MissionCurrent,
+    MissionItem,
+    MissionItemReached,
+    MissionRequest,
+    SetMode,
+    StatusText,
+)
+from repro.mavlink.mission import MissionPlan, MissionUploadState, mission_item
+
+__all__ = [
+    "CommandAck",
+    "CommandLong",
+    "GlobalPosition",
+    "GroundControlStation",
+    "Heartbeat",
+    "MavCommand",
+    "MavLink",
+    "MavResult",
+    "Message",
+    "MissionAck",
+    "MissionCount",
+    "MissionCurrent",
+    "MissionItem",
+    "MissionItemReached",
+    "MissionPlan",
+    "MissionRequest",
+    "MissionUploadState",
+    "SetMode",
+    "StatusText",
+    "mission_item",
+]

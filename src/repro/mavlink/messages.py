@@ -1,0 +1,188 @@
+"""Message definitions for the MAVLink-like protocol.
+
+Only the messages the paper's workloads rely on are modelled, and they
+are modelled as plain dataclasses rather than a binary wire format: the
+workload framework needs the protocol's *transaction semantics* (who
+initiates, who waits, what acknowledges what), not its serialisation.
+Names follow the real MAVLink message and command names so readers
+familiar with pymavlink can map them directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional
+
+
+class MavCommand(enum.Enum):
+    """The subset of MAV_CMD used by the workloads."""
+
+    COMPONENT_ARM_DISARM = 400
+    NAV_TAKEOFF = 22
+    NAV_WAYPOINT = 16
+    NAV_LAND = 21
+    NAV_RETURN_TO_LAUNCH = 20
+    DO_SET_MODE = 176
+    DO_SET_HOME = 179
+    MISSION_START = 300
+
+
+class MavResult(enum.Enum):
+    """Result codes for command acknowledgements."""
+
+    ACCEPTED = 0
+    TEMPORARILY_REJECTED = 1
+    DENIED = 2
+    UNSUPPORTED = 3
+    FAILED = 4
+
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for every protocol message.
+
+    Each message gets a monotonically increasing sequence number so tests
+    and logs can refer to individual messages unambiguously.
+    """
+
+    sequence: int = field(default_factory=lambda: next(_sequence), init=False, compare=False)
+
+    #: Short name used in logs; subclasses override.
+    name: ClassVar[str] = "MESSAGE"
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Periodic liveness + mode announcement from the vehicle."""
+
+    name: ClassVar[str] = "HEARTBEAT"
+    mode: str = "preflight"
+    armed: bool = False
+    system_status: str = "standby"
+
+
+@dataclass(frozen=True)
+class CommandLong(Message):
+    """A command from the ground-control station to the vehicle."""
+
+    name: ClassVar[str] = "COMMAND_LONG"
+    command: MavCommand = MavCommand.COMPONENT_ARM_DISARM
+    param1: float = 0.0
+    param2: float = 0.0
+    param3: float = 0.0
+    param4: float = 0.0
+    param5: float = 0.0
+    param6: float = 0.0
+    param7: float = 0.0
+
+
+@dataclass(frozen=True)
+class CommandAck(Message):
+    """The vehicle's acknowledgement of a :class:`CommandLong`."""
+
+    name: ClassVar[str] = "COMMAND_ACK"
+    command: MavCommand = MavCommand.COMPONENT_ARM_DISARM
+    result: MavResult = MavResult.ACCEPTED
+
+
+@dataclass(frozen=True)
+class SetMode(Message):
+    """Request that the vehicle switch to a named flight mode."""
+
+    name: ClassVar[str] = "SET_MODE"
+    mode: str = "guided"
+
+
+@dataclass(frozen=True)
+class MissionCount(Message):
+    """Start of a mission upload: announces the number of items."""
+
+    name: ClassVar[str] = "MISSION_COUNT"
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class MissionRequest(Message):
+    """The vehicle requests one mission item by sequence number."""
+
+    name: ClassVar[str] = "MISSION_REQUEST"
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class MissionItem(Message):
+    """One mission item sent in response to a :class:`MissionRequest`."""
+
+    name: ClassVar[str] = "MISSION_ITEM"
+    seq: int = 0
+    command: MavCommand = MavCommand.NAV_WAYPOINT
+    latitude: float = 0.0
+    longitude: float = 0.0
+    altitude: float = 0.0
+    param1: float = 0.0
+    autocontinue: bool = True
+
+
+@dataclass(frozen=True)
+class MissionAck(Message):
+    """The vehicle's acknowledgement that the mission upload completed."""
+
+    name: ClassVar[str] = "MISSION_ACK"
+    accepted: bool = True
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class MissionCurrent(Message):
+    """Telemetry: the mission item currently being executed."""
+
+    name: ClassVar[str] = "MISSION_CURRENT"
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class MissionItemReached(Message):
+    """Telemetry: the vehicle reached mission item ``seq``."""
+
+    name: ClassVar[str] = "MISSION_ITEM_REACHED"
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class GlobalPosition(Message):
+    """Telemetry: the firmware's own position estimate."""
+
+    name: ClassVar[str] = "GLOBAL_POSITION_INT"
+    latitude: float = 0.0
+    longitude: float = 0.0
+    altitude: float = 0.0
+    relative_altitude: float = 0.0
+    vx: float = 0.0
+    vy: float = 0.0
+    vz: float = 0.0
+    heading: float = 0.0
+
+
+@dataclass(frozen=True)
+class StatusText(Message):
+    """Free-form status text from the firmware (warnings, fail-safes)."""
+
+    name: ClassVar[str] = "STATUSTEXT"
+    severity: str = "info"
+    text: str = ""
+
+
+def describe(message: Message) -> str:
+    """One-line description of a message used by link logs."""
+    fields = {
+        key: value
+        for key, value in vars(message).items()
+        if key not in {"sequence"} and not key.startswith("_")
+    }
+    rendered = ", ".join(f"{key}={value}" for key, value in fields.items())
+    return f"{message.name}({rendered})"

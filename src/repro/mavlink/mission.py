@@ -1,0 +1,207 @@
+"""Mission plans and the mission-upload handshake.
+
+MAVLink's mission micro-service is vehicle-driven: the ground-control
+station announces ``MISSION_COUNT``, then the *vehicle* requests each
+item with ``MISSION_REQUEST`` and finally acknowledges the whole plan
+with ``MISSION_ACK``.  Section V-A of the paper singles this out as a
+deadlock hazard under lock-step execution, which is why the workload
+framework wraps it.  Both halves of the handshake are implemented here:
+
+* :class:`MissionUploadState` -- the GCS-side state machine used by
+  :class:`~repro.mavlink.gcs.GroundControlStation.upload_mission`.
+* :class:`MissionReceiveState` -- the vehicle-side state machine used by
+  the firmware's MAVLink handler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.mavlink.messages import (
+    MavCommand,
+    Message,
+    MissionAck,
+    MissionCount,
+    MissionItem,
+    MissionRequest,
+)
+
+
+def mission_item(
+    seq: int,
+    command: MavCommand,
+    latitude: float = 0.0,
+    longitude: float = 0.0,
+    altitude: float = 0.0,
+    param1: float = 0.0,
+) -> MissionItem:
+    """Convenience constructor for a mission item."""
+    return MissionItem(
+        seq=seq,
+        command=command,
+        latitude=latitude,
+        longitude=longitude,
+        altitude=altitude,
+        param1=param1,
+    )
+
+
+@dataclass
+class MissionPlan:
+    """An ordered list of mission items forming one mission."""
+
+    items: List[MissionItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.items = [
+            MissionItem(
+                seq=index,
+                command=item.command,
+                latitude=item.latitude,
+                longitude=item.longitude,
+                altitude=item.altitude,
+                param1=item.param1,
+                autocontinue=item.autocontinue,
+            )
+            for index, item in enumerate(self.items)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def item(self, seq: int) -> MissionItem:
+        """Return the item with sequence number ``seq``."""
+        return self.items[seq]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan has no items."""
+        return not self.items
+
+    def extended(self, other: "MissionPlan") -> "MissionPlan":
+        """Return a new plan with ``other``'s items appended (re-sequenced)."""
+        return MissionPlan(items=self.items + other.items)
+
+    def commands(self) -> List[MavCommand]:
+        """The command of each item, in order (useful for assertions)."""
+        return [item.command for item in self.items]
+
+
+class UploadPhase(enum.Enum):
+    """Phases of the GCS-side mission upload state machine."""
+
+    IDLE = "idle"
+    AWAITING_REQUESTS = "awaiting-requests"
+    COMPLETE = "complete"
+    FAILED = "failed"
+
+
+class MissionUploadState:
+    """GCS-side state machine for uploading a :class:`MissionPlan`."""
+
+    def __init__(self, plan: MissionPlan) -> None:
+        if plan.is_empty:
+            raise ValueError("cannot upload an empty mission plan")
+        self._plan = plan
+        self._phase = UploadPhase.IDLE
+        self._failure_reason = ""
+
+    @property
+    def phase(self) -> UploadPhase:
+        """The current phase of the upload."""
+        return self._phase
+
+    @property
+    def complete(self) -> bool:
+        """True when the vehicle acknowledged the whole plan."""
+        return self._phase == UploadPhase.COMPLETE
+
+    @property
+    def failed(self) -> bool:
+        """True when the vehicle rejected the plan."""
+        return self._phase == UploadPhase.FAILED
+
+    @property
+    def failure_reason(self) -> str:
+        """The vehicle's rejection reason, when the upload failed."""
+        return self._failure_reason
+
+    def start(self) -> MissionCount:
+        """Produce the initial ``MISSION_COUNT`` announcement."""
+        self._phase = UploadPhase.AWAITING_REQUESTS
+        return MissionCount(count=len(self._plan))
+
+    def handle(self, message: Message) -> Optional[MissionItem]:
+        """Process one message from the vehicle.
+
+        Returns the :class:`MissionItem` to send when the vehicle asked
+        for one; returns ``None`` otherwise (including on completion).
+        """
+        if self._phase != UploadPhase.AWAITING_REQUESTS:
+            return None
+        if isinstance(message, MissionRequest):
+            if not 0 <= message.seq < len(self._plan):
+                self._phase = UploadPhase.FAILED
+                self._failure_reason = f"vehicle requested invalid item {message.seq}"
+                return None
+            return self._plan.item(message.seq)
+        if isinstance(message, MissionAck):
+            if message.accepted:
+                self._phase = UploadPhase.COMPLETE
+            else:
+                self._phase = UploadPhase.FAILED
+                self._failure_reason = message.reason or "mission rejected"
+        return None
+
+
+class MissionReceiveState:
+    """Vehicle-side state machine for receiving a mission upload."""
+
+    def __init__(self, max_items: int = 64) -> None:
+        self._max_items = max_items
+        self._expected = 0
+        self._next_seq = 0
+        self._items: List[MissionItem] = []
+        self._receiving = False
+
+    @property
+    def receiving(self) -> bool:
+        """True while an upload is in progress."""
+        return self._receiving
+
+    def handle_count(self, count: MissionCount) -> Optional[Message]:
+        """Process ``MISSION_COUNT``; returns the first request or a nack."""
+        if count.count <= 0 or count.count > self._max_items:
+            return MissionAck(accepted=False, reason=f"invalid mission size {count.count}")
+        self._expected = count.count
+        self._next_seq = 0
+        self._items = []
+        self._receiving = True
+        return MissionRequest(seq=0)
+
+    def handle_item(self, item: MissionItem) -> Optional[Message]:
+        """Process one ``MISSION_ITEM``; returns the next request or the ack."""
+        if not self._receiving:
+            return None
+        if item.seq != self._next_seq:
+            # Out-of-order item: re-request the one we expect (matches the
+            # retry behaviour of real stacks and keeps lock-step runs alive).
+            return MissionRequest(seq=self._next_seq)
+        self._items.append(item)
+        self._next_seq += 1
+        if self._next_seq >= self._expected:
+            self._receiving = False
+            return MissionAck(accepted=True)
+        return MissionRequest(seq=self._next_seq)
+
+    def take_plan(self) -> Optional[MissionPlan]:
+        """Return the completed plan once the upload finished, else None."""
+        if self._receiving or not self._items:
+            return None
+        plan = MissionPlan(items=list(self._items))
+        return plan

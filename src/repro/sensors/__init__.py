@@ -1,0 +1,49 @@
+"""Sensor models with redundant instances and clean-failure semantics.
+
+The paper's fault model (Section IV-B) is the *clean sensor failure*: a
+sensor instance stops communicating with the firmware, the driver reports
+the instance has failed, and the instance never recovers within the same
+test run.  Every sensor driver in this package implements that contract:
+
+* ``read(state, time)`` returns a :class:`~repro.sensors.base.SensorReading`
+  synthesised from the simulated vehicle state, or a reading flagged
+  ``failed`` once the instance has been failed.
+* The read path passes through the hinj instrumentation hook so the fault
+  injection engine can fail any instance at any time-step, exactly like
+  ``libhinj`` instruments the ``read()`` procedure of each driver.
+
+Sensor types follow the paper: gyroscope, accelerometer, GPS, compass,
+barometer, and battery monitor.  The suite groups instances into primary
+and backup roles; the sensor-instance-symmetry pruning policy relies on
+those roles.
+"""
+
+from repro.sensors.barometer import Barometer
+from repro.sensors.base import (
+    SensorDriver,
+    SensorId,
+    SensorReading,
+    SensorRole,
+    SensorType,
+)
+from repro.sensors.battery import BatteryMonitor
+from repro.sensors.compass import Compass
+from repro.sensors.gps import GpsReceiver
+from repro.sensors.imu import Accelerometer, Gyroscope
+from repro.sensors.suite import SensorSuite, iris_sensor_suite
+
+__all__ = [
+    "Accelerometer",
+    "Barometer",
+    "BatteryMonitor",
+    "Compass",
+    "GpsReceiver",
+    "Gyroscope",
+    "SensorDriver",
+    "SensorId",
+    "SensorReading",
+    "SensorRole",
+    "SensorSuite",
+    "SensorType",
+    "iris_sensor_suite",
+]

@@ -1,0 +1,193 @@
+"""Sensor suites: the set of sensor instances carried by an airframe.
+
+The suite groups drivers by type, tracks which instance plays the
+primary role, and exposes the operations the rest of the stack needs:
+
+* the firmware reads every instance each control period and asks for the
+  best healthy instance of each type;
+* the fault injection engine enumerates instances (with roles) to build
+  the fault space and applies the sensor-instance-symmetry policy;
+* hinj instruments every driver's read path in one call.
+
+The default :func:`iris_sensor_suite` mirrors a stock 3DR Iris running
+ArduPilot/PX4 SITL: dual IMUs (gyroscope + accelerometer each), dual
+compasses, one GPS, one barometer, and one battery monitor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.sensors.barometer import Barometer
+from repro.sensors.base import (
+    FailDecision,
+    SensorDriver,
+    SensorId,
+    SensorReading,
+    SensorRole,
+    SensorType,
+)
+from repro.sensors.battery import BatteryMonitor
+from repro.sensors.compass import Compass
+from repro.sensors.gps import GpsReceiver
+from repro.sensors.imu import Accelerometer, Gyroscope
+from repro.sim.state import VehicleState
+
+
+class SensorSuite:
+    """All sensor instances carried by the vehicle."""
+
+    def __init__(self, drivers: Iterable[SensorDriver]) -> None:
+        self._drivers: Dict[SensorId, SensorDriver] = {}
+        for driver in drivers:
+            if driver.sensor_id in self._drivers:
+                raise ValueError(f"duplicate sensor instance {driver.sensor_id.label}")
+            self._drivers[driver.sensor_id] = driver
+        if not self._drivers:
+            raise ValueError("a sensor suite needs at least one sensor")
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    @property
+    def drivers(self) -> List[SensorDriver]:
+        """Every driver in a stable order (by sensor id)."""
+        return [self._drivers[key] for key in sorted(self._drivers)]
+
+    @property
+    def sensor_ids(self) -> List[SensorId]:
+        """Every sensor instance id in a stable order."""
+        return sorted(self._drivers)
+
+    @property
+    def sensor_types(self) -> List[SensorType]:
+        """The distinct sensor types present in the suite."""
+        seen: List[SensorType] = []
+        for sensor_id in self.sensor_ids:
+            if sensor_id.sensor_type not in seen:
+                seen.append(sensor_id.sensor_type)
+        return seen
+
+    def driver(self, sensor_id: SensorId) -> SensorDriver:
+        """Return the driver for ``sensor_id``."""
+        return self._drivers[sensor_id]
+
+    def instances_of(self, sensor_type: SensorType) -> List[SensorDriver]:
+        """All instances of ``sensor_type`` ordered primary-first."""
+        instances = [d for d in self.drivers if d.sensor_type == sensor_type]
+        return sorted(instances, key=lambda d: (d.role != SensorRole.PRIMARY, d.sensor_id))
+
+    def role_of(self, sensor_id: SensorId) -> SensorRole:
+        """Return the redundancy role of ``sensor_id``."""
+        return self._drivers[sensor_id].role
+
+    def instance_count(self, sensor_type: SensorType) -> int:
+        """Number of instances of ``sensor_type`` in the suite."""
+        return len(self.instances_of(sensor_type))
+
+    def __len__(self) -> int:
+        return len(self._drivers)
+
+    def __contains__(self, sensor_id: SensorId) -> bool:
+        return sensor_id in self._drivers
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def healthy_instances(self, sensor_type: SensorType) -> List[SensorDriver]:
+        """Healthy instances of ``sensor_type``, primary first."""
+        return [d for d in self.instances_of(sensor_type) if d.healthy]
+
+    def active_instance(self, sensor_type: SensorType) -> Optional[SensorDriver]:
+        """The instance the firmware should currently trust, if any.
+
+        The primary is preferred; when it has failed, the lowest numbered
+        healthy backup takes over (sensor fail-over).  Returns ``None``
+        when every instance of the type has failed.
+        """
+        healthy = self.healthy_instances(sensor_type)
+        return healthy[0] if healthy else None
+
+    def all_failed(self, sensor_type: SensorType) -> bool:
+        """True when no healthy instance of ``sensor_type`` remains."""
+        return not self.healthy_instances(sensor_type)
+
+    def failed_sensor_ids(self) -> List[SensorId]:
+        """Ids of every failed instance, in stable order."""
+        return [d.sensor_id for d in self.drivers if d.failed]
+
+    def reset(self) -> None:
+        """Restore every instance to healthy (between test runs)."""
+        for driver in self._drivers.values():
+            driver.reset()
+
+    # ------------------------------------------------------------------
+    # Instrumentation and reading
+    # ------------------------------------------------------------------
+    def instrument(self, fail_hook: FailDecision) -> None:
+        """Install the fault-injection hook on every driver."""
+        for driver in self._drivers.values():
+            driver.instrument(fail_hook)
+
+    def remove_instrumentation(self) -> None:
+        """Remove the fault-injection hook from every driver."""
+        for driver in self._drivers.values():
+            driver.remove_instrumentation()
+
+    def read_all(self, state: VehicleState, time: float) -> Dict[SensorId, SensorReading]:
+        """Read every instance once and return readings keyed by id."""
+        return {
+            sensor_id: self._drivers[sensor_id].read(state, time)
+            for sensor_id in self.sensor_ids
+        }
+
+    def read_active(
+        self, readings: Mapping[SensorId, SensorReading], sensor_type: SensorType
+    ) -> Optional[SensorReading]:
+        """From ``readings``, pick the one the firmware should use.
+
+        Prefers the primary instance's reading when it is healthy,
+        otherwise the first healthy backup; returns ``None`` when every
+        instance of the type reported failure.
+        """
+        for driver in self.instances_of(sensor_type):
+            reading = readings.get(driver.sensor_id)
+            if reading is not None and not reading.failed:
+                return reading
+        return None
+
+
+def iris_sensor_suite(noise_seed: int = 0) -> SensorSuite:
+    """The sensor fit of the 3DR Iris used throughout the paper.
+
+    Two IMUs (each contributing a gyroscope and an accelerometer), two
+    compasses, one GPS, one barometer and one battery monitor -- seven
+    distinct sensor groups, nine physical instances.
+    """
+    return SensorSuite(
+        [
+            Gyroscope(instance=0, role=SensorRole.PRIMARY, noise_seed=noise_seed),
+            Gyroscope(instance=1, role=SensorRole.BACKUP, noise_seed=noise_seed),
+            Accelerometer(instance=0, role=SensorRole.PRIMARY, noise_seed=noise_seed),
+            Accelerometer(instance=1, role=SensorRole.BACKUP, noise_seed=noise_seed),
+            Compass(instance=0, role=SensorRole.PRIMARY, noise_seed=noise_seed),
+            Compass(instance=1, role=SensorRole.BACKUP, noise_seed=noise_seed),
+            GpsReceiver(instance=0, role=SensorRole.PRIMARY, noise_seed=noise_seed),
+            Barometer(instance=0, role=SensorRole.PRIMARY, noise_seed=noise_seed),
+            BatteryMonitor(instance=0, role=SensorRole.PRIMARY, noise_seed=noise_seed),
+        ]
+    )
+
+
+def minimal_sensor_suite(noise_seed: int = 0) -> SensorSuite:
+    """A two-sensor suite (GPS + barometer) matching Figure 5 of the paper.
+
+    Used by unit tests and the Figure 5 benchmark, where the fault space
+    is illustrated with exactly these two sensors.
+    """
+    return SensorSuite(
+        [
+            GpsReceiver(instance=0, role=SensorRole.PRIMARY, noise_seed=noise_seed),
+            Barometer(instance=0, role=SensorRole.PRIMARY, noise_seed=noise_seed),
+        ]
+    )

@@ -1,0 +1,224 @@
+"""Lock-step simulator: the substrate equivalent of SITL + Gazebo.
+
+Figure 7 of the paper shows one time-step of the Avis process: the
+workload calls ``step()``, the simulator advances time, sensors are
+simulated, faults are injected, the firmware produces actuator outputs,
+and the vehicle state is updated.  :class:`Simulator` owns steps 2, 3
+(via the sensor suite it feeds), 5 and 6 of that loop and records the
+events the invariant monitor consumes (collisions, fence breaches,
+firmware process death).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.environment import Environment, FenceRegion, Obstacle, default_environment
+from repro.sim.physics import HARD_IMPACT_SPEED, ActuatorCommand, QuadrotorPhysics
+from repro.sim.state import VehicleState
+from repro.sim.vehicle import IRIS_QUADCOPTER, AirframeParameters
+
+
+@dataclass(frozen=True)
+class CollisionEvent:
+    """A physical collision detected by the simulator.
+
+    The paper's safety invariant flags a collision when the vehicle
+    "rapidly (de)accelerates but has the same position as another
+    simulated object, e.g. the ground".  We record both the obstacle (or
+    ground) involved and the impact speed so reports can describe the
+    severity of the event.
+    """
+
+    time: float
+    position: tuple
+    impact_speed: float
+    obstacle: Optional[str] = None
+
+    @property
+    def with_ground(self) -> bool:
+        """True when the collision was with the ground plane."""
+        return self.obstacle is None
+
+    def describe(self) -> str:
+        """Human-readable one-line description for reports."""
+        target = self.obstacle if self.obstacle else "ground"
+        return (
+            f"collision with {target} at t={self.time:.2f}s, "
+            f"impact speed {self.impact_speed:.2f} m/s"
+        )
+
+
+@dataclass(frozen=True)
+class FenceBreachEvent:
+    """The vehicle entered a keep-out fence region."""
+
+    time: float
+    position: tuple
+    fence: str
+
+
+@dataclass
+class SimulationClock:
+    """Fixed-step simulation clock shared by every component.
+
+    The paper advances simulated time by a fixed unit per ``step()``
+    call; keeping the clock in one object lets the firmware, sensors and
+    monitor agree on "now" without asking the physics engine.
+    """
+
+    dt: float = 0.01
+    _ticks: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0.0:
+            raise ValueError("dt must be positive")
+
+    @property
+    def time(self) -> float:
+        """Current simulation time in seconds."""
+        return self._ticks * self.dt
+
+    @property
+    def ticks(self) -> int:
+        """Number of elapsed time-steps."""
+        return self._ticks
+
+    def advance(self) -> float:
+        """Advance the clock by one step and return the new time."""
+        self._ticks += 1
+        return self.time
+
+
+class Simulator:
+    """Owns the physical world and the vehicle dynamics.
+
+    The simulator exposes exactly the interface the rest of the stack
+    needs:
+
+    * :meth:`step` -- integrate one time-step given the firmware's
+      actuator command and return the new :class:`VehicleState`.
+    * :attr:`state` -- the latest state snapshot (step 3 of Figure 7
+      reads sensor values from it).
+    * :attr:`collisions` / :attr:`fence_breaches` -- the event log the
+      invariant monitor inspects.
+    """
+
+    def __init__(
+        self,
+        airframe: AirframeParameters = IRIS_QUADCOPTER,
+        environment: Optional[Environment] = None,
+        dt: float = 0.01,
+    ) -> None:
+        self.airframe = airframe
+        self.environment = environment if environment is not None else default_environment()
+        self.clock = SimulationClock(dt=dt)
+        self.physics = QuadrotorPhysics(
+            airframe=airframe, environment=self.environment, dt=dt
+        )
+        self._state = self.physics.snapshot()
+        self._collisions: List[CollisionEvent] = []
+        self._fence_breaches: List[FenceBreachEvent] = []
+        self._was_airborne = False
+        self._step_listeners: List[Callable[[VehicleState], None]] = []
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> VehicleState:
+        """The most recent vehicle state snapshot."""
+        return self._state
+
+    @property
+    def dt(self) -> float:
+        """Simulation time-step in seconds."""
+        return self.clock.dt
+
+    @property
+    def time(self) -> float:
+        """Current simulation time in seconds."""
+        return self.clock.time
+
+    @property
+    def collisions(self) -> List[CollisionEvent]:
+        """Collisions recorded so far (ground impacts and obstacle hits)."""
+        return list(self._collisions)
+
+    @property
+    def fence_breaches(self) -> List[FenceBreachEvent]:
+        """Fence breach events recorded so far."""
+        return list(self._fence_breaches)
+
+    @property
+    def has_crashed(self) -> bool:
+        """True when at least one collision has been recorded."""
+        return bool(self._collisions)
+
+    def add_step_listener(self, listener: Callable[[VehicleState], None]) -> None:
+        """Register a callback invoked with the state after every step."""
+        self._step_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, command: ActuatorCommand) -> VehicleState:
+        """Advance the world by one time-step under ``command``."""
+        previous_airborne = not self._state.on_ground
+        self._state = self.physics.step(command)
+        self.clock.advance()
+
+        self._detect_ground_impact(previous_airborne)
+        self._detect_obstacle_collision()
+        self._detect_fence_breach()
+
+        for listener in self._step_listeners:
+            listener(self._state)
+        return self._state
+
+    def _detect_ground_impact(self, previously_airborne: bool) -> None:
+        """Record a collision when the vehicle hits the ground hard."""
+        if not previously_airborne or not self._state.on_ground:
+            return
+        impact_speed = self.physics.last_impact_speed
+        if impact_speed >= HARD_IMPACT_SPEED:
+            self._collisions.append(
+                CollisionEvent(
+                    time=self._state.time,
+                    position=self._state.position,
+                    impact_speed=impact_speed,
+                    obstacle=None,
+                )
+            )
+
+    def _detect_obstacle_collision(self) -> None:
+        """Record a collision when the vehicle penetrates an obstacle."""
+        obstacle = self.environment.colliding_obstacle(self._state.position)
+        if obstacle is None:
+            return
+        speed = max(self._state.ground_speed, abs(self._state.climb_rate))
+        self._collisions.append(
+            CollisionEvent(
+                time=self._state.time,
+                position=self._state.position,
+                impact_speed=speed,
+                obstacle=obstacle.name,
+            )
+        )
+
+    def _detect_fence_breach(self) -> None:
+        """Record a breach when the vehicle enters a keep-out region."""
+        if self._state.on_ground:
+            return
+        fence = self.environment.breached_fence(self._state.position)
+        if fence is None:
+            return
+        if self._fence_breaches and self._fence_breaches[-1].fence == fence.name:
+            # Still inside the same fence; one event per entry is enough.
+            return
+        self._fence_breaches.append(
+            FenceBreachEvent(
+                time=self._state.time, position=self._state.position, fence=fence.name
+            )
+        )

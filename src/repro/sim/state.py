@@ -1,0 +1,201 @@
+"""Physical state of the simulated vehicle.
+
+The invariant monitor in the paper represents the vehicle state as the
+tuple ``(P, alpha, M)`` -- position, acceleration, and operating mode.
+The simulator tracks a richer state (velocity, attitude, angular rates)
+because the firmware's estimator and controllers need it, but the
+:class:`VehicleState` snapshot exposes exactly what the monitor consumes.
+
+Coordinate convention: a local Cartesian frame anchored at the home
+location.  ``x`` points north, ``y`` points east, and ``z`` points *up*
+(altitude above home, in metres).  Yaw is measured clockwise from north
+in radians, matching compass headings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Tuple
+
+Vector3 = Tuple[float, float, float]
+
+
+def vector_add(a: Vector3, b: Vector3) -> Vector3:
+    """Return the component-wise sum of two 3-vectors."""
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def vector_sub(a: Vector3, b: Vector3) -> Vector3:
+    """Return the component-wise difference ``a - b``."""
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def vector_scale(a: Vector3, factor: float) -> Vector3:
+    """Return ``a`` scaled by ``factor``."""
+    return (a[0] * factor, a[1] * factor, a[2] * factor)
+
+
+def vector_norm(a: Vector3) -> float:
+    """Return the Euclidean norm of a 3-vector."""
+    return math.sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2])
+
+
+def euclidean_distance(a: Vector3, b: Vector3) -> float:
+    """Euclidean distance between two points.
+
+    This is the ``d_e`` used throughout Section IV-C of the paper for both
+    position and acceleration distances.
+    """
+    return vector_norm(vector_sub(a, b))
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap an angle in radians to the interval ``(-pi, pi]``."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+@dataclass(frozen=True)
+class AttitudeState:
+    """Orientation of the vehicle expressed as Euler angles (radians)."""
+
+    roll: float = 0.0
+    pitch: float = 0.0
+    yaw: float = 0.0
+
+    def as_tuple(self) -> Vector3:
+        """Return ``(roll, pitch, yaw)`` as a plain tuple."""
+        return (self.roll, self.pitch, self.yaw)
+
+    def rotated_yaw(self, delta: float) -> "AttitudeState":
+        """Return a copy with ``delta`` radians added to the yaw (wrapped)."""
+        return AttitudeState(self.roll, self.pitch, wrap_angle(self.yaw + delta))
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """Snapshot of the simulated vehicle's physical state at one time-step.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds since the start of the run.
+    position:
+        ``(north, east, up)`` metres relative to home.
+    velocity:
+        ``(north, east, up)`` metres per second.
+    acceleration:
+        ``(north, east, up)`` metres per second squared, *excluding* gravity
+        (i.e. the specific force the accelerometer would sense minus the
+        static 1 g offset -- what the invariant monitor compares).
+    attitude:
+        Euler angles of the airframe.
+    angular_rate:
+        Body rotation rates ``(roll_rate, pitch_rate, yaw_rate)`` in rad/s.
+    on_ground:
+        Whether the vehicle is resting on (or has impacted) the ground.
+    armed:
+        Whether motors are armed.  The simulator mirrors the firmware's
+        arming state so collision analysis can distinguish a parked vehicle
+        from a crashed one.
+    """
+
+    time: float = 0.0
+    position: Vector3 = (0.0, 0.0, 0.0)
+    velocity: Vector3 = (0.0, 0.0, 0.0)
+    acceleration: Vector3 = (0.0, 0.0, 0.0)
+    attitude: AttitudeState = field(default_factory=AttitudeState)
+    angular_rate: Vector3 = (0.0, 0.0, 0.0)
+    on_ground: bool = True
+    armed: bool = False
+
+    @property
+    def altitude(self) -> float:
+        """Altitude above the home position in metres."""
+        return self.position[2]
+
+    @property
+    def ground_speed(self) -> float:
+        """Horizontal speed in metres per second."""
+        return math.hypot(self.velocity[0], self.velocity[1])
+
+    @property
+    def climb_rate(self) -> float:
+        """Vertical speed in metres per second (positive is up)."""
+        return self.velocity[2]
+
+    @property
+    def heading(self) -> float:
+        """Yaw angle in radians, clockwise from north."""
+        return self.attitude.yaw
+
+    def horizontal_distance_to(self, point: Vector3) -> float:
+        """Horizontal (north/east plane) distance to ``point`` in metres."""
+        return math.hypot(self.position[0] - point[0], self.position[1] - point[1])
+
+    def distance_to(self, point: Vector3) -> float:
+        """Full 3-D Euclidean distance to ``point`` in metres."""
+        return euclidean_distance(self.position, point)
+
+    def with_time(self, time: float) -> "VehicleState":
+        """Return a copy of the state stamped with a different time."""
+        return replace(self, time=time)
+
+    def with_armed(self, armed: bool) -> "VehicleState":
+        """Return a copy of the state with the armed flag changed."""
+        return replace(self, armed=armed)
+
+
+def interpolate_states(a: VehicleState, b: VehicleState, fraction: float) -> VehicleState:
+    """Linearly interpolate between two states.
+
+    Used by trace analysis when resampling runs of different durations onto
+    a common time base (the paper pads shorter runs by repeating the last
+    state; interpolation is used when traces were recorded at different
+    rates).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+
+    def lerp(x: float, y: float) -> float:
+        return x + (y - x) * fraction
+
+    def lerp3(x: Vector3, y: Vector3) -> Vector3:
+        return (lerp(x[0], y[0]), lerp(x[1], y[1]), lerp(x[2], y[2]))
+
+    return VehicleState(
+        time=lerp(a.time, b.time),
+        position=lerp3(a.position, b.position),
+        velocity=lerp3(a.velocity, b.velocity),
+        acceleration=lerp3(a.acceleration, b.acceleration),
+        attitude=AttitudeState(
+            lerp(a.attitude.roll, b.attitude.roll),
+            lerp(a.attitude.pitch, b.attitude.pitch),
+            a.attitude.yaw + wrap_angle(b.attitude.yaw - a.attitude.yaw) * fraction,
+        ),
+        angular_rate=lerp3(a.angular_rate, b.angular_rate),
+        on_ground=a.on_ground if fraction < 0.5 else b.on_ground,
+        armed=a.armed if fraction < 0.5 else b.armed,
+    )
+
+
+def pad_trace(trace: Iterable[VehicleState], length: int) -> list[VehicleState]:
+    """Pad a trace to ``length`` samples by repeating its final state.
+
+    The paper's liveliness metric requires every profiling run to have the
+    same duration; shorter runs "repeat the last state an appropriate
+    number of times".
+    """
+    states = list(trace)
+    if not states:
+        raise ValueError("cannot pad an empty trace")
+    if length < len(states):
+        raise ValueError(
+            f"target length {length} is shorter than the trace ({len(states)} samples)"
+        )
+    last = states[-1]
+    states.extend([last] * (length - len(states)))
+    return states

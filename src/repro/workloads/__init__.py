@@ -1,0 +1,49 @@
+"""Workloads and the high-level workload framework.
+
+A workload is "a sequence of pilot commands" (Section II).  The paper's
+framework exists because raw MAVLink is awkward and deadlock-prone to
+drive in lock-step; its high-level APIs (``takeoff``, ``upload_mission``,
+``wait_altitude`` ...) hide the protocol transactions.  Figure 8 of the
+paper shows the ``AutoWorkload`` reproduced verbatim in
+:mod:`repro.workloads.builtin`.
+
+Two default workloads are provided, matching Section V-A:
+
+* :class:`~repro.workloads.builtin.PositionHoldBoxWorkload` -- ascend to
+  20 m, fly the perimeter of a 20 m x 20 m box using position-hold style
+  modes, land at the launch point.
+* :class:`~repro.workloads.builtin.WaypointFenceWorkload` -- ascend to
+  20 m and fly a 20 m x 20 m waypoint box that overlaps a geo-fenced
+  region, then land at the launch site.
+
+Plus the Figure 8 :class:`~repro.workloads.builtin.AutoWorkload` used by
+the quickstart example.
+"""
+
+from repro.workloads.builtin import (
+    AutoWorkload,
+    PositionHoldBoxWorkload,
+    WaypointFenceWorkload,
+    default_workloads,
+)
+from repro.workloads.framework import (
+    Target,
+    WorkloadError,
+    WorkloadFailure,
+    WorkloadOutcome,
+    WorkloadResult,
+    WorkloadTimeout,
+)
+
+__all__ = [
+    "AutoWorkload",
+    "PositionHoldBoxWorkload",
+    "Target",
+    "WaypointFenceWorkload",
+    "WorkloadError",
+    "WorkloadFailure",
+    "WorkloadOutcome",
+    "WorkloadResult",
+    "WorkloadTimeout",
+    "default_workloads",
+]

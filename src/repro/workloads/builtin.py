@@ -1,0 +1,145 @@
+"""The default workloads shipped with Avis (Section IV-A / V-A).
+
+All three workloads are parameterised by the target altitude and the box
+side length so tests and benchmarks can run shortened variants; the
+defaults match the paper (20 m altitude, 20 m x 20 m box).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.workloads.framework import Target
+
+
+class AutoWorkload(Target):
+    """The Figure 8 workload: upload takeoff + land, fly it in AUTO.
+
+    The paper's listing waits 40 s for the real firmware to initialise;
+    the simulated firmware boots instantly, so the default wait is much
+    shorter (still present so the pre-flight operating mode is exercised
+    and pre-flight injection windows exist).
+    """
+
+    name = "auto"
+
+    def __init__(self, altitude: float = 20.0, init_wait_ms: float = 4000.0) -> None:
+        super().__init__()
+        self.altitude = altitude
+        self.init_wait_ms = init_wait_ms
+
+    def test(self) -> None:
+        self.wait_time(self.init_wait_ms)
+        self.upload_mission(
+            self.takeoff_mission(self.altitude, self.cur_lati, self.cur_longi, self.home_alti)
+            + self.land_mission()
+        )
+        self.arm_system_completely()
+        self.enter_auto_mode()
+        self.wait_altitude(self.altitude, tolerance=1.5)
+        self.wait_altitude(0.0, tolerance=0.75)
+        self.wait_disarmed()
+        self.pass_test()
+
+
+def _box_corners(side: float) -> List[Tuple[float, float]]:
+    """The corners of a box flown north/east of the launch point."""
+    return [(side, 0.0), (side, side), (0.0, side), (0.0, 0.0)]
+
+
+class PositionHoldBoxWorkload(Target):
+    """Default workload 1: position-hold flight around a box.
+
+    The UAV ascends to the target altitude, flies the perimeter of a box
+    using guided targets with a brief position-hold dwell at each corner
+    (exercising the manual/position-hold family of modes -- the paper
+    notes that testing the position-hold mode also covers the orientation
+    and altitude hold modes, which reuse the same code), then lands at
+    the launch point.
+    """
+
+    name = "position-hold-box"
+
+    def __init__(
+        self,
+        altitude: float = 20.0,
+        box_side: float = 20.0,
+        corner_hold_ms: float = 1000.0,
+        init_wait_ms: float = 2000.0,
+    ) -> None:
+        super().__init__()
+        self.altitude = altitude
+        self.box_side = box_side
+        self.corner_hold_ms = corner_hold_ms
+        self.init_wait_ms = init_wait_ms
+
+    def test(self) -> None:
+        self.wait_time(self.init_wait_ms)
+        self.arm_system_completely()
+        self.command_takeoff(self.altitude)
+        self.wait_altitude(self.altitude, tolerance=1.5)
+
+        for north, east in _box_corners(self.box_side):
+            self.goto(north, east, self.altitude)
+            self.wait_position(north, east, radius=3.0)
+            self.enter_position_hold()
+            self.wait_time(self.corner_hold_ms)
+            # Return to guided flight for the next leg.
+            self._harness.gcs.set_mode(self._harness.guided_mode_name)
+            self.step(5)
+
+        self.enter_land_mode()
+        self.wait_altitude(0.0, tolerance=0.75)
+        self.wait_disarmed()
+        self.pass_test()
+
+
+class WaypointFenceWorkload(Target):
+    """Default workload 2: an AUTO waypoint box that can overlap a fence.
+
+    The mission takes off, flies the four corners of a box, returns to
+    launch and lands.  When the environment carries a geo-fence (see
+    :func:`repro.sim.environment.fenced_environment`), the box overlaps
+    the fenced region and the firmware's fence handling engages
+    mid-mission -- which is why the paper uses it as the second default
+    workload.
+    """
+
+    name = "waypoint-fence"
+
+    def __init__(
+        self,
+        altitude: float = 20.0,
+        box_side: float = 20.0,
+        init_wait_ms: float = 2000.0,
+    ) -> None:
+        super().__init__()
+        self.altitude = altitude
+        self.box_side = box_side
+        self.init_wait_ms = init_wait_ms
+
+    def test(self) -> None:
+        self.wait_time(self.init_wait_ms)
+        corners = _box_corners(self.box_side)
+        items = (
+            self.takeoff_mission(self.altitude, self.cur_lati, self.cur_longi, self.home_alti)
+            + self.waypoint_mission(corners, self.altitude)
+            + self.rtl_mission()
+            + self.land_mission()
+        )
+        self.upload_mission(items)
+        self.arm_system_completely()
+        self.enter_auto_mode()
+        self.wait_altitude(self.altitude, tolerance=1.5)
+        self.wait_disarmed(timeout_s=150.0)
+        self.pass_test()
+
+
+def default_workloads(
+    altitude: float = 20.0, box_side: float = 20.0
+) -> List[Target]:
+    """The two default workloads the paper evaluates with."""
+    return [
+        PositionHoldBoxWorkload(altitude=altitude, box_side=box_side),
+        WaypointFenceWorkload(altitude=altitude, box_side=box_side),
+    ]

@@ -1,0 +1,139 @@
+"""Shared fixtures and helpers for the test suite.
+
+Integration fixtures use a short mission (8 m takeoff + land) so full
+simulated flights stay in the tens of milliseconds; campaign-level
+fixtures are session-scoped so profiling is paid for once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.core.avis import Avis
+from repro.core.config import RunConfiguration
+from repro.core.runner import RunResult, TestRunner, TraceSample
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.firmware.px4 import Px4Firmware
+from repro.hinj.faults import FaultScenario
+from repro.hinj.instrumentation import ModeTransition
+from repro.workloads.builtin import AutoWorkload, WaypointFenceWorkload
+from repro.workloads.framework import WorkloadOutcome, WorkloadResult
+
+
+def make_trace(
+    positions: Sequence[tuple],
+    mode_labels: Optional[Sequence[str]] = None,
+    sample_period: float = 0.1,
+    armed: bool = True,
+    on_ground: bool = False,
+) -> List[TraceSample]:
+    """Build a synthetic trace from a list of positions."""
+    samples = []
+    for index, position in enumerate(positions):
+        label = mode_labels[index] if mode_labels is not None else "takeoff"
+        samples.append(
+            TraceSample(
+                index=index,
+                time=index * sample_period,
+                position=tuple(position),
+                acceleration=(0.0, 0.0, 0.0),
+                velocity=(0.0, 0.0, 0.0),
+                mode_label=label,
+                altitude=position[2],
+                on_ground=on_ground,
+                armed=armed,
+            )
+        )
+    return samples
+
+
+def make_run_result(
+    trace: Optional[List[TraceSample]] = None,
+    transitions: Optional[List[ModeTransition]] = None,
+    scenario: Optional[FaultScenario] = None,
+    triggered_bugs: Optional[List[str]] = None,
+    collisions: Optional[list] = None,
+    duration_s: Optional[float] = None,
+    workload_outcome: WorkloadOutcome = WorkloadOutcome.PASSED,
+) -> RunResult:
+    """Build a synthetic RunResult for unit tests."""
+    if trace is None:
+        trace = make_trace([(0.0, 0.0, float(i)) for i in range(20)])
+    if transitions is None:
+        transitions = [
+            ModeTransition(time=0.0, label="preflight", previous=None),
+            ModeTransition(time=0.5, label="takeoff", previous="preflight"),
+            ModeTransition(time=1.0, label="land", previous="takeoff"),
+        ]
+    return RunResult(
+        scenario=scenario if scenario is not None else FaultScenario(),
+        firmware_name="ardupilot",
+        workload_name="synthetic",
+        workload_result=WorkloadResult(outcome=workload_outcome),
+        trace=trace,
+        mode_transitions=transitions,
+        collisions=collisions if collisions is not None else [],
+        fence_breaches=[],
+        injections=[],
+        failsafe_events=[],
+        triggered_bugs=triggered_bugs if triggered_bugs is not None else [],
+        firmware_process_alive=True,
+        duration_s=duration_s if duration_s is not None else trace[-1].time,
+        steps=len(trace) * 5,
+    )
+
+
+@pytest.fixture(scope="session")
+def short_auto_config() -> RunConfiguration:
+    """A short AUTO mission (8 m takeoff + land) on ArduPilot."""
+    return RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: AutoWorkload(altitude=8.0, init_wait_ms=1000.0),
+        max_sim_time_s=90.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def short_waypoint_config() -> RunConfiguration:
+    """A short waypoint mission (10 m box) on ArduPilot."""
+    return RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: WaypointFenceWorkload(
+            altitude=10.0, box_side=10.0, init_wait_ms=1000.0
+        ),
+        max_sim_time_s=120.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def short_px4_config() -> RunConfiguration:
+    """The short waypoint mission on the PX4 flavour."""
+    return RunConfiguration(
+        firmware_class=Px4Firmware,
+        workload_factory=lambda: WaypointFenceWorkload(
+            altitude=10.0, box_side=10.0, init_wait_ms=1000.0
+        ),
+        max_sim_time_s=120.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def golden_auto_run(short_auto_config) -> RunResult:
+    """One fault-free run of the short AUTO mission."""
+    return TestRunner(short_auto_config).run()
+
+
+@pytest.fixture(scope="session")
+def golden_waypoint_run(short_waypoint_config) -> RunResult:
+    """One fault-free run of the short waypoint mission."""
+    return TestRunner(short_waypoint_config).run()
+
+
+@pytest.fixture(scope="session")
+def waypoint_avis(short_waypoint_config) -> Avis:
+    """An Avis instance profiled on the short waypoint mission."""
+    avis = Avis(short_waypoint_config, profiling_runs=2, budget_units=20.0)
+    avis.profile()
+    return avis

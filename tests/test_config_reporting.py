@@ -1,0 +1,80 @@
+"""Tests for the run configuration and the report formatting helpers."""
+
+import pytest
+
+from conftest import make_run_result
+
+from repro.core.config import RunConfiguration
+from repro.core.replay import build_replay_plan, resolve_plan
+from repro.core.report import format_table, unsafe_condition_report
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.firmware.px4 import Px4Firmware
+from repro.hinj.scheduler import InjectionRecord
+from repro.sensors.base import SensorId, SensorType
+
+
+class TestRunConfiguration:
+    def test_defaults(self):
+        config = RunConfiguration()
+        assert config.firmware_class is ArduPilotFirmware
+        assert config.firmware_name == "ardupilot"
+        assert config.dt == pytest.approx(0.02)
+        assert config.stop_on_unsafe
+
+    def test_with_noise_seed_preserves_everything_else(self):
+        config = RunConfiguration(
+            firmware_class=Px4Firmware,
+            reinserted_bugs=("PX4-13291",),
+            max_sim_time_s=77.0,
+        )
+        other = config.with_noise_seed(9)
+        assert other.noise_seed == 9
+        assert other.firmware_class is Px4Firmware
+        assert other.reinserted_bugs == ("PX4-13291",)
+        assert other.max_sim_time_s == 77.0
+        assert config.noise_seed == 0
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        table = format_table(["name", "count"], [("alpha", 1), ("bravo-long", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "count" in lines[0]
+        assert len(lines) == 4
+        assert "bravo-long" in lines[3]
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestReplayPlanHelpers:
+    def test_empty_plan_for_golden_run(self):
+        plan = build_replay_plan(make_run_result())
+        assert plan.faults == []
+        assert "no faults" in plan.describe()
+
+    def test_resolution_falls_back_when_anchor_missing(self):
+        original = make_run_result()
+        original.injections = [
+            InjectionRecord(
+                sensor_id=SensorId(SensorType.GPS, 0),
+                scheduled_time=0.7,
+                injected_time=0.7,
+            )
+        ]
+        plan = build_replay_plan(original)
+        assert plan.faults[0].anchor_label == "takeoff"
+        # Resolve against a run that never entered takeoff: fall back to 0.
+        reference = make_run_result(transitions=[])
+        scenario = resolve_plan(plan, reference)
+        assert len(scenario) == 1
+        assert scenario.faults[0].start_time >= 0.0
+
+
+class TestReportRendering:
+    def test_report_lists_workload_outcome_and_duration(self):
+        report = unsafe_condition_report(make_run_result())
+        assert "Workload outcome: passed" in report
+        assert "Simulated duration" in report

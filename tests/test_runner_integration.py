@@ -1,0 +1,119 @@
+"""Integration tests: full simulated missions through the test runner."""
+
+import pytest
+
+from repro.core.config import RunConfiguration
+from repro.core.runner import TestRunner
+from repro.firmware.px4 import Px4Firmware
+from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.sensors.base import SensorId, SensorType
+from repro.workloads.builtin import AutoWorkload
+from repro.workloads.framework import WorkloadOutcome
+
+
+class TestGoldenRuns:
+    def test_auto_mission_passes(self, golden_auto_run):
+        assert golden_auto_run.workload_passed
+        assert golden_auto_run.workload_result.outcome == WorkloadOutcome.PASSED
+        assert golden_auto_run.is_golden
+
+    def test_auto_mission_visits_expected_modes(self, golden_auto_run):
+        labels = [transition.label for transition in golden_auto_run.mode_transitions]
+        assert "preflight" in labels
+        assert "takeoff" in labels
+        assert "land" in labels
+        assert "landed" in labels
+
+    def test_auto_mission_reaches_target_altitude(self, golden_auto_run):
+        peak = max(sample.altitude for sample in golden_auto_run.trace)
+        assert peak == pytest.approx(8.0, abs=1.5)
+        assert golden_auto_run.trace[-1].altitude < 0.5
+
+    def test_no_collisions_or_failsafes_in_golden_run(self, golden_auto_run):
+        assert golden_auto_run.collisions == []
+        assert golden_auto_run.triggered_bugs == []
+        assert golden_auto_run.firmware_process_alive
+
+    def test_trace_and_transition_bookkeeping(self, golden_auto_run):
+        assert golden_auto_run.steps > 100
+        assert len(golden_auto_run.trace) > 20
+        assert golden_auto_run.mode_label_at(0.1) == "preflight"
+        final_label = golden_auto_run.mode_label_at(golden_auto_run.duration_s)
+        assert final_label in ("landed", "preflight")
+
+    def test_waypoint_mission_passes_and_flies_box(self, golden_waypoint_run):
+        assert golden_waypoint_run.workload_passed
+        labels = [t.label for t in golden_waypoint_run.mode_transitions]
+        assert "waypoint-1" in labels and "waypoint-4" in labels
+        assert "rtl" in labels
+
+    def test_px4_flavour_flies_the_same_mission(self, short_px4_config):
+        result = TestRunner(short_px4_config).run()
+        assert result.workload_passed
+        assert result.firmware_name == "px4"
+
+    def test_runs_are_reproducible_for_equal_seeds(self, short_auto_config):
+        first = TestRunner(short_auto_config).run()
+        second = TestRunner(short_auto_config).run()
+        assert first.duration_s == pytest.approx(second.duration_s, abs=0.05)
+        assert [t.label for t in first.mode_transitions] == [
+            t.label for t in second.mode_transitions
+        ]
+
+    def test_noise_seed_changes_details_but_not_outcome(self, short_auto_config):
+        base = TestRunner(short_auto_config).run()
+        other = TestRunner(short_auto_config).run(noise_seed=5)
+        assert other.workload_passed
+        assert base.duration_s != other.duration_s or base.trace != other.trace
+
+
+class TestFaultInjectionRuns:
+    def test_benign_backup_failure_completes_mission(self, short_auto_config):
+        scenario = FaultScenario([FaultSpec(SensorId(SensorType.GYROSCOPE, 1), 3.0)])
+        result = TestRunner(short_auto_config).run(scenario)
+        assert result.workload_passed
+        assert result.triggered_bugs == []
+        assert result.injections and result.injections[0].sensor_id.instance == 1
+
+    def test_barometer_failure_at_takeoff_triggers_latent_bug(self, short_auto_config):
+        golden = TestRunner(short_auto_config).run()
+        takeoff_time = next(
+            t.time for t in golden.mode_transitions if t.label == "takeoff"
+        )
+        scenario = FaultScenario(
+            [FaultSpec(SensorId(SensorType.BAROMETER, 0), takeoff_time)]
+        )
+        result = TestRunner(short_auto_config).run(scenario)
+        assert "APM-16027" in result.triggered_bugs
+        assert not result.workload_passed
+
+    def test_disabled_bug_behaves_correctly(self, short_auto_config):
+        from repro.core.config import RunConfiguration
+
+        config = RunConfiguration(
+            firmware_class=short_auto_config.firmware_class,
+            workload_factory=short_auto_config.workload_factory,
+            max_sim_time_s=short_auto_config.max_sim_time_s,
+            disabled_bugs=("APM-16027",),
+        )
+        golden = TestRunner(config).run()
+        takeoff_time = next(
+            t.time for t in golden.mode_transitions if t.label == "takeoff"
+        )
+        scenario = FaultScenario(
+            [FaultSpec(SensorId(SensorType.BAROMETER, 0), takeoff_time)]
+        )
+        result = TestRunner(config).run(scenario)
+        assert result.triggered_bugs == []
+
+    def test_gyro_failure_at_takeoff_crashes_px4(self, short_px4_config):
+        golden = TestRunner(short_px4_config).run()
+        takeoff_time = next(
+            t.time for t in golden.mode_transitions if t.label == "takeoff"
+        )
+        scenario = FaultScenario(
+            [FaultSpec(SensorId(SensorType.GYROSCOPE, 0), takeoff_time)]
+        )
+        result = TestRunner(short_px4_config).run(scenario)
+        assert "PX4-17057" in result.triggered_bugs
+        assert result.collisions
