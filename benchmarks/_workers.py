@@ -1,0 +1,13 @@
+"""Worker-count policy shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_workers() -> int:
+    """Worker processes for benchmark grids (REPRO_BENCH_WORKERS wins)."""
+    override = os.environ.get("REPRO_BENCH_WORKERS")
+    if override:
+        return max(1, int(override))
+    return max(1, min(4, os.cpu_count() or 1))

@@ -1,0 +1,127 @@
+"""Engine scaling: serial vs. 2- and 4-worker wall-clock on a fixed grid.
+
+A fixed, seeded 32-scenario campaign (the same scenarios, in the same
+order) is executed through :class:`SerialBackend` and through
+:class:`ProcessPoolBackend` with 2 and 4 workers.  The measured
+wall-clock times and speedups are written to ``BENCH_engine.json`` next
+to the repository root, and the backends are asserted to agree on every
+per-scenario outcome (the determinism contract).
+
+The speedup assertion (>1.5x with 4 workers) only applies on machines
+with at least two usable cores -- a process pool cannot beat serial
+execution of CPU-bound simulations on a single core, and CI containers
+are frequently single-core.  The JSON records the measured numbers and
+the core count either way.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import RunConfiguration
+from repro.engine.backends import ProcessPoolBackend, SerialBackend
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.sensors.suite import iris_sensor_suite
+from repro.workloads.builtin import AutoWorkload
+
+SCENARIO_COUNT = 32
+RNG_SEED = 17
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _config() -> RunConfiguration:
+    return RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: AutoWorkload(altitude=8.0, init_wait_ms=1000.0),
+        max_sim_time_s=90.0,
+    )
+
+
+def _fixed_scenarios() -> list:
+    """32 deterministic scenarios over the full sensor suite."""
+    rng = random.Random(RNG_SEED)
+    sensors = iris_sensor_suite().sensor_ids
+    scenarios = []
+    while len(scenarios) < SCENARIO_COUNT:
+        count = rng.randint(1, 2)
+        chosen = rng.sample(sensors, count)
+        scenario = FaultScenario(
+            FaultSpec(sensor_id, round(rng.uniform(0.0, 30.0), 2))
+            for sensor_id in chosen
+        )
+        if scenario not in scenarios:
+            scenarios.append(scenario)
+    return scenarios
+
+
+def _outcome_signature(results) -> list:
+    return [
+        (str(result.scenario), result.steps, len(result.collisions),
+         tuple(result.triggered_bugs))
+        for result in results
+    ]
+
+
+def test_engine_scaling(benchmark, capsys):
+    config = _config()
+    scenarios = _fixed_scenarios()
+
+    def measure():
+        timings = {}
+        signatures = {}
+        for label, backend in (
+            ("serial", SerialBackend()),
+            ("workers2", ProcessPoolBackend(max_workers=2)),
+            ("workers4", ProcessPoolBackend(max_workers=4)),
+        ):
+            started = time.perf_counter()
+            results = backend.run_scenarios(config, None, scenarios)
+            timings[label] = time.perf_counter() - started
+            signatures[label] = _outcome_signature(results)
+        return timings, signatures
+
+    timings, signatures = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Determinism: every backend produced identical per-scenario outcomes.
+    assert signatures["workers2"] == signatures["serial"]
+    assert signatures["workers4"] == signatures["serial"]
+
+    cpus = _usable_cpus()
+    report = {
+        "scenario_count": SCENARIO_COUNT,
+        "usable_cpus": cpus,
+        "serial_s": timings["serial"],
+        "workers2_s": timings["workers2"],
+        "workers4_s": timings["workers4"],
+        "speedup_workers2": timings["serial"] / timings["workers2"],
+        "speedup_workers4": timings["serial"] / timings["workers4"],
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    with capsys.disabled():
+        print(f"\n\nEngine scaling ({SCENARIO_COUNT} scenarios, {cpus} cpu(s)):")
+        print(f"  serial    : {report['serial_s']:.2f}s")
+        print(f"  2 workers : {report['workers2_s']:.2f}s "
+              f"({report['speedup_workers2']:.2f}x)")
+        print(f"  4 workers : {report['workers4_s']:.2f}s "
+              f"({report['speedup_workers4']:.2f}x)")
+        print(f"  written to {OUTPUT_PATH}")
+
+    if cpus >= 4:
+        assert report["speedup_workers4"] > 1.5
+    elif cpus >= 2:
+        assert report["speedup_workers2"] > 1.2
+    else:
+        pytest.xfail("single-core machine: parallel speedup not measurable")

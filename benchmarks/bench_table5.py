@@ -6,13 +6,19 @@ while Stratified BFI finds two and BFI/random none.  The benchmark
 re-inserts each bug into the corresponding firmware flavour, runs an
 Avis and a Stratified BFI campaign, and reports whether each approach
 rediscovered the bug and after how many simulations.
+
+The 5 bugs x 2 strategies matrix runs as one sharded campaign grid:
+each (bug, strategy) cell is an independent campaign, so the engine
+executes the whole comparison in a single parallel pass.
 """
 
 import pytest
 
-from repro.core.avis import Avis
+from _workers import bench_workers
+
 from repro.core.report import format_table
 from repro.core.strategies import AvisStrategy, StratifiedBFI
+from repro.engine.grid import CampaignGrid, GridCell
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.firmware.bugs import all_table5_bugs
 from repro.firmware.px4 import Px4Firmware
@@ -50,15 +56,28 @@ def _config_for(bug):
 
 def test_table5_reinserted_bugs(benchmark, capsys):
     def run_reinsertions():
+        bugs = all_table5_bugs()
+        cells = [
+            GridCell(
+                cell_id=f"{bug.bug_id}/{strategy_name}",
+                config=_config_for(bug),
+                strategy_factory=factory,
+                budget_units=REINSERTION_BUDGET,
+                profiling_runs=2,
+            )
+            for bug in bugs
+            for strategy_name, factory in (
+                ("avis", AvisStrategy),
+                ("stratified-bfi", StratifiedBFI),
+            )
+        ]
+        outcome = CampaignGrid(cells, max_workers=bench_workers()).run()
         rows = []
         avis_found_count = 0
         stratified_found_count = 0
-        for bug in all_table5_bugs():
-            config = _config_for(bug)
-            avis = Avis(config, profiling_runs=2, budget_units=REINSERTION_BUDGET)
-            avis.profile()
-            avis_campaign = avis.check(strategy=AvisStrategy())
-            stratified_campaign = avis.check(strategy=StratifiedBFI())
+        for bug in bugs:
+            avis_campaign = outcome.results[f"{bug.bug_id}/avis"]
+            stratified_campaign = outcome.results[f"{bug.bug_id}/stratified-bfi"]
             avis_simulations = avis_campaign.simulations_to_find(bug.bug_id)
             stratified_simulations = stratified_campaign.simulations_to_find(bug.bug_id)
             avis_found_count += int(avis_simulations is not None)

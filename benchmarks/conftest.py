@@ -8,16 +8,22 @@ published ones.
 
 The shared ``evaluation_campaigns`` fixture runs the Table III / Table IV
 campaign matrix once per benchmark session so the individual benchmarks
-only format and check their slice of it.
+only format and check their slice of it.  The matrix is executed through
+the campaign-grid engine: every (firmware, strategy) cell is an
+independent deterministic campaign, so the grid shards them across
+worker processes (``REPRO_BENCH_WORKERS`` overrides the worker count)
+and produces exactly the results of the old sequential loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import pytest
 
-from repro.core.avis import Avis, CampaignResult
+from _workers import bench_workers
+
+from repro.core.avis import CampaignResult
 from repro.core.config import RunConfiguration
 from repro.core.strategies import (
     AvisStrategy,
@@ -25,6 +31,7 @@ from repro.core.strategies import (
     RandomInjection,
     StratifiedBFI,
 )
+from repro.engine.grid import CampaignGrid, GridCell
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.firmware.px4 import Px4Firmware
 from repro.workloads.builtin import WaypointFenceWorkload
@@ -48,28 +55,32 @@ def build_config(firmware_class, **kwargs) -> RunConfiguration:
     )
 
 
-def strategy_set():
-    """The four approaches of Table I/III in presentation order."""
-    return [
-        AvisStrategy(),
-        StratifiedBFI(),
-        BayesianFaultInjection(),
-        RandomInjection(),
-    ]
-
-
 @pytest.fixture(scope="session")
 def evaluation_campaigns() -> Dict[Tuple[str, str], CampaignResult]:
     """Campaign results keyed by (firmware, strategy name).
 
     This is the shared data behind the Table II / III / IV benchmarks.
+    The full firmware x strategy grid runs in one parallel pass.
     """
-    results: Dict[Tuple[str, str], CampaignResult] = {}
-    for firmware_class in (ArduPilotFirmware, Px4Firmware):
-        config = build_config(firmware_class)
-        avis = Avis(config, profiling_runs=2, budget_units=CAMPAIGN_BUDGET_UNITS)
-        avis.profile()
-        for strategy in strategy_set():
-            campaign = avis.check(strategy=strategy)
-            results[(firmware_class.name, strategy.name)] = campaign
-    return results
+    strategy_factories = {
+        "avis": AvisStrategy,
+        "stratified-bfi": StratifiedBFI,
+        "bfi": BayesianFaultInjection,
+        "random": RandomInjection,
+    }
+    cells = [
+        GridCell(
+            cell_id=f"{firmware_class.name}/{strategy_name}",
+            config=build_config(firmware_class),
+            strategy_factory=factory,
+            budget_units=CAMPAIGN_BUDGET_UNITS,
+            profiling_runs=2,
+        )
+        for firmware_class in (ArduPilotFirmware, Px4Firmware)
+        for strategy_name, factory in strategy_factories.items()
+    ]
+    outcome = CampaignGrid(cells, max_workers=bench_workers()).run()
+    return {
+        (campaign.firmware_name, campaign.strategy_name): campaign
+        for campaign in outcome.results.values()
+    }

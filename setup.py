@@ -1,0 +1,12 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so legacy editable installs work on offline machines whose
+setuptools is too old to build PEP 660 wheels without the ``wheel``
+package:
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -24,6 +24,9 @@ from repro.core.monitor import InvariantMonitor, UnsafeCondition, mode_category_
 from repro.core.runner import RunResult, TestRunner
 from repro.core.session import BudgetAccount, ExplorationSession
 from repro.core.strategies import AvisStrategy, SearchStrategy
+from repro.engine.backends import ExecutionBackend
+from repro.engine.cache import ResultCache
+from repro.engine.campaign import DEFAULT_BATCH_SIZE, CampaignEngine
 from repro.sensors.suite import iris_sensor_suite
 
 
@@ -110,12 +113,22 @@ class Avis:
         budget_units: float = 60.0,
         simulation_cost: float = 1.0,
         labelling_cost: float = 0.15,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self._config = config
         self._profiling_run_count = max(profiling_runs, 1)
         self._budget_units = budget_units
         self._simulation_cost = simulation_cost
         self._labelling_cost = labelling_cost
+        # A per-orchestrator cache by default: compare() runs several
+        # strategies over the same fault space, so overlapping scenarios
+        # are only ever simulated once.
+        self._cache = cache if cache is not None else ResultCache()
+        self._engine = CampaignEngine(
+            backend=backend, cache=self._cache, batch_size=batch_size
+        )
         self._profiles: Optional[List[RunResult]] = None
         self._monitor: Optional[InvariantMonitor] = None
 
@@ -126,6 +139,16 @@ class Avis:
     def config(self) -> RunConfiguration:
         """The run configuration used for every simulation."""
         return self._config
+
+    @property
+    def engine(self) -> CampaignEngine:
+        """The campaign engine executing this orchestrator's campaigns."""
+        return self._engine
+
+    @property
+    def cache(self) -> ResultCache:
+        """The result cache shared by every campaign of this orchestrator."""
+        return self._cache
 
     @property
     def monitor(self) -> InvariantMonitor:
@@ -188,8 +211,9 @@ class Avis:
             budget=budget,
             profiling_run=profiles[0],
             suite=iris_sensor_suite(noise_seed=self._config.noise_seed),
+            cache=self._cache,
         )
-        strategy.explore(session)
+        self._engine.execute(strategy, session)
         return CampaignResult(
             strategy_name=strategy.name,
             firmware_name=self._config.firmware_name,
@@ -205,5 +229,12 @@ class Avis:
         strategies: Sequence[SearchStrategy],
         budget_units: Optional[float] = None,
     ) -> List[CampaignResult]:
-        """Run the same budgeted campaign once per strategy (Table III)."""
+        """Run the same budgeted campaign once per strategy (Table III).
+
+        Campaigns share this orchestrator's result cache, so scenarios
+        several strategies propose are only simulated once (a cache hit
+        still charges the hitting campaign's budget, keeping the
+        comparison fair), and each campaign's batchable simulations run
+        through the configured execution backend.
+        """
         return [self.check(strategy=strategy, budget_units=budget_units) for strategy in strategies]

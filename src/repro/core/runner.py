@@ -296,6 +296,9 @@ class SimulationHarness:
 class TestRunner:
     """Runs workloads under fault scenarios, one fresh harness per run."""
 
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
     def __init__(self, config: RunConfiguration, monitor=None) -> None:
         self._config = config
         self._monitor = monitor

@@ -15,11 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from typing import TYPE_CHECKING
+
 from repro.core.runner import RunResult, TestRunner
 from repro.firmware.modes import OperatingModeLabel
 from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario
 from repro.sensors.base import SensorId, SensorRole
 from repro.sensors.suite import SensorSuite, iris_sensor_suite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cache import ResultCache
 
 
 @dataclass
@@ -71,11 +76,14 @@ class ExplorationSession:
         budget: BudgetAccount,
         profiling_run: RunResult,
         suite: Optional[SensorSuite] = None,
+        cache: Optional["ResultCache"] = None,
     ) -> None:
         self._runner = runner
         self._budget = budget
         self._profiling_run = profiling_run
         self._suite = suite if suite is not None else iris_sensor_suite()
+        self._cache = cache
+        self._workload_fp: Optional[str] = None
         self._results: List[RunResult] = []
         self._explored: Dict[FaultScenario, RunResult] = {}
 
@@ -160,11 +168,61 @@ class ExplorationSession:
             return self._explored[scenario]
         if not self._budget.can_afford_simulation():
             return None
+        key = None
+        if self._cache is not None:
+            from repro.engine.cache import (
+                adapt_cached_result,
+                scenario_key,
+                workload_fingerprint,
+            )
+
+            if self._workload_fp is None:
+                self._workload_fp = workload_fingerprint(self._runner.config)
+            key = scenario_key(self._runner.config, self._workload_fp, scenario)
+            stored = self._cache.get(key)
+            if stored is not None:
+                # A hit still charges the simulation cost so warm- and
+                # cold-cache campaigns report identical numbers.
+                result = adapt_cached_result(stored, self._runner.monitor)
+                self._budget.charge_simulation()
+                self._explored[scenario] = result
+                self._results.append(result)
+                return result
         self._budget.charge_simulation()
         result = self._runner.run(scenario)
+        if self._cache is not None and key is not None:
+            self._cache.put(key, result)
         self._explored[scenario] = result
         self._results.append(result)
         return result
+
+    def reserve_simulation(self) -> bool:
+        """Charge one simulation ahead of its execution; False when the
+        budget cannot afford it.
+
+        Batch proposals (:meth:`SearchStrategy.propose_batch`) charge
+        each proposed scenario here, at proposal time, so the sequence
+        of budget charges per candidate is identical to the sequential
+        ``explore()`` loop's label/simulate interleaving -- which is
+        what keeps batched campaigns bit-identical to sequential ones
+        even for strategies that also charge labelling costs.
+        """
+        if not self._budget.can_afford_simulation():
+            return False
+        self._budget.charge_simulation()
+        return True
+
+    def ingest_result(self, scenario: FaultScenario, result: RunResult) -> None:
+        """Record a simulation executed outside the session (by the
+        campaign engine's backend).
+
+        The simulation cost was already charged when the scenario was
+        proposed (:meth:`reserve_simulation`); this only records.  The
+        engine guarantees results arrive in proposal order, so the
+        session's result list reads the same as a sequential campaign's.
+        """
+        self._explored[scenario] = result
+        self._results.append(result)
 
     def charge_label(self) -> bool:
         """Charge one candidate-labelling call; False when unaffordable."""

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.session import ExplorationSession
+from repro.hinj.faults import FaultScenario
 
 
 @dataclass(frozen=True)
@@ -39,6 +41,49 @@ class SearchStrategy(abc.ABC):
     @abc.abstractmethod
     def explore(self, session: ExplorationSession) -> None:
         """Explore the fault space until the session budget runs out."""
+
+    # ------------------------------------------------------------------
+    # Batch evaluation protocol (used by the parallel campaign engine)
+    # ------------------------------------------------------------------
+    def propose_batch(
+        self, session: ExplorationSession, max_scenarios: int
+    ) -> Optional[List[FaultScenario]]:
+        """Propose up to ``max_scenarios`` unexplored scenarios to simulate.
+
+        Strategies whose next proposal does not depend on the outcome of
+        the previous simulation (random, exhaustive, stratified BFI) are
+        embarrassingly parallel: they override this to hand the campaign
+        engine a batch of scenarios that can be executed concurrently.
+        The engine records results between calls, so later batches see
+        everything earlier batches explored.
+
+        Contract:
+
+        * ``None`` -- the strategy does not support batching; the engine
+          falls back to the sequential :meth:`explore` loop.  This is the
+          default, so adaptive strategies (SABRE's feedback-driven queue,
+          BFI's budget-interleaved labelling) keep their exact published
+          behaviour.
+        * ``[]`` -- the strategy has exhausted its search space or its
+          budget; the campaign is over.
+        * A non-empty list -- scenarios to simulate, in proposal order;
+          none of them already explored in ``session`` and no duplicates
+          within the batch.
+
+        Budget protocol: the proposer charges costs in the same per-
+        candidate order as its sequential loop -- labelling via
+        ``session.charge_label()`` and, for every scenario it returns,
+        one simulation via ``session.reserve_simulation()`` (stop the
+        batch when it declines).  The engine records results without
+        charging anything further, so the budget trajectory of a
+        batched campaign is identical to the sequential one.
+        """
+        return None
+
+    @property
+    def supports_batching(self) -> bool:
+        """True when the strategy overrides :meth:`propose_batch`."""
+        return type(self).propose_batch is not SearchStrategy.propose_batch
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} '{self.name}'>"

@@ -21,7 +21,7 @@ sensor its first failure time, which is how
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.session import ExplorationSession
 from repro.core.strategies.base import SearchStrategy, StrategyFeatures
@@ -36,7 +36,78 @@ def _non_empty_subsets(sensors: Sequence[SensorId]) -> List[Tuple[SensorId, ...]
     return subsets
 
 
-class DepthFirstSearch(SearchStrategy):
+class _EnumerationStrategy(SearchStrategy):
+    """Shared budget-driven loop over a fixed enumeration order.
+
+    The enumeration order is a pure function of the sensor set and the
+    time grid, so batches of consecutive scenarios are independent and
+    the search is embarrassingly parallel: :meth:`propose_batch` simply
+    hands the engine the next slice of the enumeration.
+    """
+
+    def __init__(self, time_step_s: float = 1.0) -> None:
+        self._time_step = time_step_s
+        self._scenario_iter: Optional[Iterator[FaultScenario]] = None
+        self._iter_session: Optional[ExplorationSession] = None
+        self.simulations_run = 0
+
+    @staticmethod
+    def enumerate_scenarios(
+        sensors: Sequence[SensorId], times: Sequence[float]
+    ) -> Iterator[FaultScenario]:
+        raise NotImplementedError
+
+    def _times(self, session: ExplorationSession) -> List[float]:
+        duration = session.mission_duration
+        return [
+            round(index * self._time_step, 3)
+            for index in range(int(duration / self._time_step) + 1)
+        ]
+
+    def _ensure_iterator(self, session: ExplorationSession) -> Iterator[FaultScenario]:
+        # The enumeration cursor is per-session: a strategy instance
+        # reused for another campaign restarts from the top with that
+        # campaign's sensors and time grid.
+        if self._scenario_iter is None or self._iter_session is not session:
+            self._iter_session = session
+            self._scenario_iter = self.enumerate_scenarios(
+                session.sensor_ids, self._times(session)
+            )
+        return self._scenario_iter
+
+    def explore(self, session: ExplorationSession) -> None:
+        for scenario in self._ensure_iterator(session):
+            if session.budget.exhausted:
+                return
+            if scenario.is_empty or session.was_explored(scenario):
+                continue
+            result = session.run_scenario(scenario)
+            if result is None:
+                return
+            self.simulations_run += 1
+
+    def propose_batch(
+        self, session: ExplorationSession, max_scenarios: int
+    ) -> Optional[List[FaultScenario]]:
+        """The next ``max_scenarios`` unexplored scenarios in search order."""
+        iterator = self._ensure_iterator(session)
+        batch: List[FaultScenario] = []
+        seen: Set[FaultScenario] = set()
+        for scenario in iterator:
+            if session.budget.exhausted:
+                break
+            if scenario.is_empty or session.was_explored(scenario) or scenario in seen:
+                continue
+            if not session.reserve_simulation():
+                break
+            seen.add(scenario)
+            batch.append(scenario)
+            if len(batch) >= max_scenarios:
+                break
+        return batch
+
+
+class DepthFirstSearch(_EnumerationStrategy):
     """Depth-first enumeration: latest injection times first."""
 
     name = "depth-first"
@@ -45,10 +116,6 @@ class DepthFirstSearch(SearchStrategy):
         uses_prior_bugs=False,
         searches_dissimilar_first=False,
     )
-
-    def __init__(self, time_step_s: float = 1.0) -> None:
-        self._time_step = time_step_s
-        self.simulations_run = 0
 
     @staticmethod
     def enumerate_scenarios(
@@ -67,21 +134,8 @@ class DepthFirstSearch(SearchStrategy):
             for subset in subsets:
                 yield FaultScenario(FaultSpec(sensor_id, start_time) for sensor_id in subset)
 
-    def explore(self, session: ExplorationSession) -> None:
-        duration = session.mission_duration
-        times = [round(index * self._time_step, 3) for index in range(int(duration / self._time_step) + 1)]
-        for scenario in self.enumerate_scenarios(session.sensor_ids, times):
-            if session.budget.exhausted:
-                return
-            if scenario.is_empty or session.was_explored(scenario):
-                continue
-            result = session.run_scenario(scenario)
-            if result is None:
-                return
-            self.simulations_run += 1
 
-
-class BreadthFirstSearch(SearchStrategy):
+class BreadthFirstSearch(_EnumerationStrategy):
     """Breadth-first enumeration: whole-run failures first, then later starts."""
 
     name = "breadth-first"
@@ -90,10 +144,6 @@ class BreadthFirstSearch(SearchStrategy):
         uses_prior_bugs=False,
         searches_dissimilar_first=False,
     )
-
-    def __init__(self, time_step_s: float = 1.0) -> None:
-        self._time_step = time_step_s
-        self.simulations_run = 0
 
     @staticmethod
     def enumerate_scenarios(
@@ -113,16 +163,3 @@ class BreadthFirstSearch(SearchStrategy):
         for start_time in times:
             for subset in subsets:
                 yield FaultScenario(FaultSpec(sensor_id, start_time) for sensor_id in subset)
-
-    def explore(self, session: ExplorationSession) -> None:
-        duration = session.mission_duration
-        times = [round(index * self._time_step, 3) for index in range(int(duration / self._time_step) + 1)]
-        for scenario in self.enumerate_scenarios(session.sensor_ids, times):
-            if session.budget.exhausted:
-                return
-            if scenario.is_empty or session.was_explored(scenario):
-                continue
-            result = session.run_scenario(scenario)
-            if result is None:
-                return
-            self.simulations_run += 1

@@ -12,7 +12,7 @@ UAV transitioned between operating modes" (Section VI).
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.session import ExplorationSession
 from repro.core.strategies.base import SearchStrategy, StrategyFeatures
@@ -42,6 +42,8 @@ class StratifiedBFI(SearchStrategy):
         self._threshold = threshold
         self._max_concurrent = max_concurrent_failures
         self._time_quantum = time_quantum_s
+        self._candidates: Optional[Iterator[Tuple[float, str, Tuple[SensorId, ...]]]] = None
+        self._candidates_session: Optional[ExplorationSession] = None
         self.labels_issued = 0
         self.simulations_run = 0
 
@@ -90,3 +92,55 @@ class StratifiedBFI(SearchStrategy):
                 if result is None:
                     return
                 self.simulations_run += 1
+
+    # ------------------------------------------------------------------
+    # Batch evaluation (the model's verdicts do not depend on run
+    # outcomes, so labelling ahead of the simulations is sound)
+    # ------------------------------------------------------------------
+    def _candidate_stream(
+        self, session: ExplorationSession
+    ) -> Iterator[Tuple[float, str, Tuple[SensorId, ...]]]:
+        subsets = self._subsets(session)
+        for time in self._injection_times(session):
+            mode_category = session.mode_category_at(time)
+            for subset in subsets:
+                yield time, mode_category, subset
+
+    def propose_batch(
+        self, session: ExplorationSession, max_scenarios: int
+    ) -> Optional[List[FaultScenario]]:
+        """Label candidates in SABRE's stratified order; batch the ones
+        the model predicts unsafe.
+
+        Labelling and simulation costs are charged here, during
+        proposal, in the same per-candidate order as the sequential
+        loop (label, then reserve the simulation the moment a candidate
+        passes the threshold) -- so the budget trajectory, and therefore
+        where the campaign stops, is identical to :meth:`explore`.
+        """
+        if self._candidates is None or self._candidates_session is not session:
+            self._candidates_session = session
+            self._candidates = self._candidate_stream(session)
+        batch: List[FaultScenario] = []
+        seen: Set[FaultScenario] = set()
+        while len(batch) < max_scenarios:
+            entry = next(self._candidates, None)
+            if entry is None:
+                break
+            time, mode_category, subset = entry
+            if session.budget.exhausted or not session.charge_label():
+                break
+            self.labels_issued += 1
+            score = self._model.scenario_score(
+                [sensor_id.sensor_type for sensor_id in subset], mode_category
+            )
+            if score < self._threshold:
+                continue
+            scenario = FaultScenario(FaultSpec(sensor_id, time) for sensor_id in subset)
+            if session.was_explored(scenario) or scenario in seen:
+                continue
+            if not session.reserve_simulation():
+                break
+            seen.add(scenario)
+            batch.append(scenario)
+        return batch

@@ -1,0 +1,56 @@
+"""The parallel campaign engine.
+
+The engine is the execution layer under :class:`repro.core.avis.Avis`:
+
+* :mod:`repro.engine.backends` -- where batches of simulations run
+  (:class:`SerialBackend` in-process, :class:`ProcessPoolBackend` across
+  a forked worker pool with bit-identical results).
+* :mod:`repro.engine.cache` -- the content-addressed
+  :class:`ResultCache`, keyed on ``(firmware, workload, scenario,
+  noise seed, params)``, so repeated campaigns skip already-simulated
+  scenarios.
+* :mod:`repro.engine.campaign` -- :class:`CampaignEngine`, which drives
+  a search strategy's batch proposals through the cache and a backend.
+* :mod:`repro.engine.grid` -- :class:`CampaignGrid`, sharding a
+  (firmware x workload x strategy x budget) matrix across workers;
+  exposed on the command line as ``python -m repro.engine``.
+
+``CampaignGrid``/``GridCell`` are re-exported lazily because the grid
+imports the orchestrator (which itself imports this package).
+"""
+
+from repro.engine.backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
+from repro.engine.cache import (
+    ResultCache,
+    adapt_cached_result,
+    config_fingerprint,
+    scenario_key,
+    workload_fingerprint,
+)
+from repro.engine.campaign import DEFAULT_BATCH_SIZE, CampaignEngine
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignGrid",
+    "DEFAULT_BATCH_SIZE",
+    "ExecutionBackend",
+    "GridCell",
+    "GridOutcome",
+    "ProcessPoolBackend",
+    "ResultCache",
+    "SerialBackend",
+    "adapt_cached_result",
+    "config_fingerprint",
+    "scenario_key",
+    "workload_fingerprint",
+]
+
+_LAZY = {"CampaignGrid", "GridCell", "GridOutcome"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.engine import grid
+
+        return getattr(grid, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,193 @@
+"""Execution backends: where a batch of simulations actually runs.
+
+The campaign engine hands a backend an ordered batch of fault scenarios
+plus the shared run context (configuration and calibrated invariant
+monitor); the backend returns one :class:`~repro.core.runner.RunResult`
+per scenario, **in submission order**.  Because every run provisions a
+fresh harness and the sensor noise is seeded from the configuration
+(``iris_sensor_suite(noise_seed=config.noise_seed)``), a run's outcome
+is a pure function of ``(config, scenario)`` -- which is what makes the
+process-pool backend bit-identical to the serial one.
+
+Two backends ship with the engine:
+
+* :class:`SerialBackend` -- runs the batch in-process, one scenario at a
+  time.  The reference implementation and the fallback everywhere a
+  process pool is unavailable.
+* :class:`ProcessPoolBackend` -- fans the batch out over a
+  ``multiprocessing`` pool using the ``fork`` start method.  Fork (not
+  spawn) matters: run configurations carry workload factories that are
+  frequently lambdas, which cannot be pickled; with fork the workers
+  inherit the parent's context and only the scenarios and results cross
+  the process boundary.  On platforms without ``fork`` the backend
+  degrades to serial execution instead of failing.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.config import RunConfiguration
+from repro.core.runner import RunResult, TestRunner
+from repro.hinj.faults import FaultScenario
+
+#: Per-batch context inherited by forked workers (config, monitor).
+_WORKER_CONTEXT: Optional[Tuple[RunConfiguration, object]] = None
+
+#: Callback type invoked as each result is collected (scenario index, result).
+ProgressCallback = Callable[[int, RunResult], None]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_one(scenario: FaultScenario) -> RunResult:
+    """Execute one scenario inside a forked worker."""
+    assert _WORKER_CONTEXT is not None
+    config, monitor = _WORKER_CONTEXT
+    return TestRunner(config, monitor=monitor).run(scenario)
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes batches of independent simulations."""
+
+    #: Human-readable backend name used in summaries and logs.
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run_scenarios(
+        self,
+        config: RunConfiguration,
+        monitor,
+        scenarios: Sequence[FaultScenario],
+        on_result: Optional[ProgressCallback] = None,
+    ) -> List[RunResult]:
+        """Simulate every scenario; results are in submission order."""
+
+    def close(self) -> None:
+        """Release any resources held by the backend."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} '{self.name}'>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run the batch in-process, one scenario after the other."""
+
+    name = "serial"
+
+    def run_scenarios(
+        self,
+        config: RunConfiguration,
+        monitor,
+        scenarios: Sequence[FaultScenario],
+        on_result: Optional[ProgressCallback] = None,
+    ) -> List[RunResult]:
+        runner = TestRunner(config, monitor=monitor)
+        results: List[RunResult] = []
+        for index, scenario in enumerate(scenarios):
+            result = runner.run(scenario)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan a batch out over a forked ``multiprocessing`` pool.
+
+    The pool persists across batches as long as the run context (the
+    ``(config, monitor)`` pair, compared by identity) is unchanged --
+    a campaign issues many small batches and must not pay a fork per
+    batch.  A new context forks a fresh pool, since workers inherit the
+    context at fork time.  Call :meth:`close` (or let the backend be
+    garbage-collected) to release the workers.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the machine's CPU count capped at 4.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            max_workers = max(1, min(4, os.cpu_count() or 1))
+        self._max_workers = max(1, max_workers)
+        self._serial_fallback = SerialBackend()
+        self._pool = None
+        # Strong refs: identity comparison stays valid for the pool's
+        # lifetime (an id() could be recycled after garbage collection).
+        self._pool_context: Optional[Tuple[RunConfiguration, object]] = None
+
+    @property
+    def max_workers(self) -> int:
+        """The configured pool size."""
+        return self._max_workers
+
+    def _ensure_pool(self, config: RunConfiguration, monitor):
+        if self._pool is not None:
+            held_config, held_monitor = self._pool_context
+            if held_config is config and held_monitor is monitor:
+                return self._pool
+            self.close()
+        global _WORKER_CONTEXT
+        _WORKER_CONTEXT = (config, monitor)
+        try:
+            # The pool is created while the context global is set, so
+            # every forked worker inherits (config, monitor) without
+            # pickling; only scenarios and results cross the process
+            # boundary afterwards.
+            self._pool = multiprocessing.get_context("fork").Pool(
+                processes=self._max_workers
+            )
+        finally:
+            _WORKER_CONTEXT = None
+        self._pool_context = (config, monitor)
+        return self._pool
+
+    def run_scenarios(
+        self,
+        config: RunConfiguration,
+        monitor,
+        scenarios: Sequence[FaultScenario],
+        on_result: Optional[ProgressCallback] = None,
+    ) -> List[RunResult]:
+        if (
+            not scenarios
+            or self._max_workers <= 1
+            or not _fork_available()
+            # Daemonic pool workers (e.g. inside a campaign-grid shard)
+            # cannot spawn children; degrade to serial instead of failing.
+            or multiprocessing.current_process().daemon
+        ):
+            return self._serial_fallback.run_scenarios(
+                config, monitor, scenarios, on_result
+            )
+
+        pool = self._ensure_pool(config, monitor)
+        results: List[RunResult] = []
+        for index, result in enumerate(pool.imap(_run_one, scenarios, chunksize=1)):
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+    def close(self) -> None:
+        """Terminate the worker pool (if one is running)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_context = None
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,207 @@
+"""Content-addressed result caching for repeated campaigns.
+
+Every simulation in this reproduction is a pure function of its inputs:
+the run configuration (firmware flavour and parameters, workload,
+airframe, time-step, bug set) plus the fault scenario and the sensor
+noise seed fully determine the recorded :class:`~repro.core.runner.RunResult`.
+That makes results content-addressable: the cache key is a SHA-256 over
+a canonical rendering of ``(firmware, workload, scenario, noise_seed,
+params)``, and any campaign that would re-simulate an already-explored
+scenario -- ``Avis.compare()`` running several strategies over the same
+fault space, a re-run of the benchmark matrix, a campaign-grid shard --
+can reuse the stored result instead.
+
+Budget semantics: a cache hit still *counts* as a simulation (the
+session charges the simulation cost and the result appears in the
+campaign), so warm- and cold-cache campaigns report identical Table
+III/IV/V numbers; the cache only removes wall-clock work.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional
+
+from repro.core.config import RunConfiguration
+from repro.core.runner import RunResult
+from repro.hinj.faults import FaultScenario
+
+
+def config_fingerprint(config: RunConfiguration, workload_name: str) -> str:
+    """A canonical string identifying everything a run's outcome depends on.
+
+    ``workload_name`` is passed separately because the configuration only
+    holds an opaque factory; the workload's display name (plus its
+    parameters as rendered by the factory's product) is the stable part.
+    """
+    parts = [
+        f"firmware={config.firmware_name}",
+        f"workload={workload_name}",
+        f"airframe={config.airframe!r}",
+        f"params={config.firmware_params!r}",
+        f"dt={config.dt!r}",
+        f"max_sim_time_s={config.max_sim_time_s!r}",
+        f"sample_interval_steps={config.sample_interval_steps!r}",
+        f"noise_seed={config.noise_seed!r}",
+        f"reinserted={sorted(config.reinserted_bugs)!r}",
+        f"disabled={sorted(config.disabled_bugs)!r}",
+        f"stop_on_unsafe={config.stop_on_unsafe!r}",
+    ]
+    return "|".join(parts)
+
+
+def _canonical(value) -> str:
+    """A deterministic rendering of a workload parameter.
+
+    Scalars and containers render structurally.  Anything else falls
+    back to ``repr`` prefixed with its type -- if that repr embeds a
+    memory address the key becomes process-local, which degrades the
+    cache to misses (safe) rather than risking a false hit.
+    """
+    if isinstance(value, (bool, int, float, str, bytes, type(None))):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(item) for item in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(item) for item in value)) + "}"
+    if isinstance(value, dict):
+        rendered = sorted(
+            f"{_canonical(key)}:{_canonical(item)}" for key, item in value.items()
+        )
+        return "{" + ",".join(rendered) + "}"
+    return f"<{type(value).__qualname__}:{value!r}>"
+
+
+def workload_fingerprint(config: RunConfiguration) -> str:
+    """Identify the configured workload *including its parameters*.
+
+    The configuration only holds an opaque factory, and display names do
+    not encode parameters (a 10 m and a 20 m box workload share one), so
+    this instantiates a throwaway workload and renders every public
+    attribute alongside the name.
+    """
+    workload = config.workload_factory()
+    params = {
+        key: _canonical(value)
+        for key, value in sorted(vars(workload).items())
+        if not key.startswith("_")
+    }
+    return f"{workload.display_name}{params!r}"
+
+
+def scenario_fingerprint(scenario: FaultScenario) -> str:
+    """A canonical string for a fault scenario (sorted fault tuples)."""
+    return ";".join(
+        f"{fault.sensor_id.label}@{fault.start_time!r}" for fault in scenario
+    )
+
+
+def scenario_key(
+    config: RunConfiguration, workload_name: str, scenario: FaultScenario
+) -> str:
+    """The content address of one simulation."""
+    payload = config_fingerprint(config, workload_name) + "||" + scenario_fingerprint(
+        scenario
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def adapt_cached_result(result: RunResult, monitor=None) -> RunResult:
+    """Prepare a cached result for use in a (possibly different) campaign.
+
+    Returns a shallow copy so campaigns never share mutable state, and
+    re-evaluates the invariant monitor when one is supplied -- the
+    monitor is calibrated deterministically from the same configuration,
+    so this reproduces the verdict a fresh simulation would have had.
+    """
+    adapted = copy.copy(result)
+    if monitor is not None:
+        adapted.unsafe_conditions = monitor.evaluate(adapted)
+    else:
+        adapted.unsafe_conditions = list(result.unsafe_conditions)
+    return adapted
+
+
+class ResultCache:
+    """In-memory (and optionally on-disk) store of simulated run results.
+
+    Parameters
+    ----------
+    directory:
+        When given, every stored result is also pickled to
+        ``<directory>/<key>.pkl`` and lookups fall back to disk, so the
+        cache survives across processes and across campaign-grid runs.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._memory: Dict[str, RunResult] = {}
+        self._directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Key construction
+    # ------------------------------------------------------------------
+    key_for = staticmethod(scenario_key)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (
+            self._directory is not None and os.path.exists(self._path(key))
+        )
+
+    def _path(self, key: str) -> str:
+        assert self._directory is not None
+        return os.path.join(self._directory, f"{key}.pkl")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The stored result for ``key``, or None on a miss."""
+        result = self._memory.get(key)
+        if result is None and self._directory is not None:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "rb") as handle:
+                        result = pickle.load(handle)
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    result = None
+                if result is not None:
+                    self._memory[key] = result
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` (last write wins)."""
+        self._memory[key] = result
+        if self._directory is not None:
+            # Write-then-rename so concurrent grid shards never observe a
+            # partially written pickle.
+            fd, tmp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(result, handle)
+                os.replace(tmp_path, self._path(key))
+            except OSError:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus the in-memory entry count."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._memory)}

@@ -1,0 +1,118 @@
+"""The campaign engine: batched execution of one checking campaign.
+
+:class:`CampaignEngine` sits between the orchestrator
+(:class:`repro.core.avis.Avis`) and a search strategy.  Strategies that
+implement the batch protocol
+(:meth:`repro.core.strategies.base.SearchStrategy.propose_batch`) are
+driven in rounds: the engine asks for a batch of scenarios (the
+proposer charges labelling and simulation budget in its sequential
+per-candidate order), resolves cache hits, fans the remainder out to
+the execution backend, then records every result in proposal order
+before asking for the next batch.  Strategies without a
+batch implementation -- SABRE's feedback-driven queue, BFI's
+budget-interleaved labelling -- fall back to their sequential
+``explore()`` loop unchanged, which still benefits from the result
+cache via the session.
+
+Recording in proposal order is what keeps a parallel campaign
+bit-identical to a serial one: the per-run outcomes are deterministic
+functions of ``(config, scenario)``, and order is the only thing a pool
+could otherwise scramble.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.backends import ExecutionBackend, SerialBackend
+from repro.engine.cache import (
+    ResultCache,
+    adapt_cached_result,
+    scenario_key,
+    workload_fingerprint,
+)
+
+#: Scenarios requested per proposal round.  Large enough to keep a
+#: 4-worker pool busy, small enough that budget truncation stays tight.
+DEFAULT_BATCH_SIZE = 8
+
+
+class CampaignEngine:
+    """Drives one strategy's campaign through a backend and a cache."""
+
+    def __init__(
+        self,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        self._backend = backend if backend is not None else SerialBackend()
+        self._cache = cache
+        self._batch_size = max(1, batch_size)
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend used for batched strategies."""
+        return self._backend
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The shared result cache (None when caching is disabled)."""
+        return self._cache
+
+    def execute(self, strategy, session) -> None:
+        """Run ``strategy`` to budget exhaustion, recording into ``session``.
+
+        Budget accounting happens entirely inside ``propose_batch`` (in
+        the same per-candidate order as the strategy's sequential loop),
+        so the engine only executes what was proposed and records the
+        results.
+        """
+        if not strategy.supports_batching:
+            strategy.explore(session)
+            return
+
+        config = session.runner.config
+        monitor = session.runner.monitor
+        workload_name = (
+            workload_fingerprint(config) if self._cache is not None else ""
+        )
+
+        while True:
+            batch = strategy.propose_batch(session, self._batch_size)
+            if batch is None:
+                # The strategy withdrew from batching; finish sequentially.
+                strategy.explore(session)
+                return
+            if not batch:
+                return
+
+            # Resolve cache hits, then execute the misses as one batch.
+            slots: List[Tuple[object, str, Optional[object]]] = []
+            pending = []
+            for scenario in batch:
+                key = ""
+                cached = None
+                if self._cache is not None:
+                    key = scenario_key(config, workload_name, scenario)
+                    stored = self._cache.get(key)
+                    if stored is not None:
+                        cached = adapt_cached_result(stored, monitor)
+                slots.append((scenario, key, cached))
+                if cached is None:
+                    pending.append(scenario)
+
+            executed = iter(
+                self._backend.run_scenarios(config, monitor, pending)
+            )
+            for scenario, key, cached in slots:
+                result = cached if cached is not None else next(executed)
+                if cached is None and self._cache is not None:
+                    self._cache.put(key, result)
+                session.ingest_result(scenario, result)
+                if hasattr(strategy, "simulations_run"):
+                    strategy.simulations_run += 1
+
+    def close(self) -> None:
+        """Release backend resources."""
+        self._backend.close()

@@ -1,0 +1,176 @@
+"""``python -m repro.engine``: run a campaign grid from the command line.
+
+Builds the (firmware x workload x strategy x budget) matrix from the
+flags, shards it across worker processes, streams one progress line per
+finished campaign, and prints (or writes) a JSON summary.
+
+Examples
+--------
+Run the Table III strategy grid on both firmwares with 4 workers::
+
+    python -m repro.engine --firmware ardupilot px4 \
+        --strategy avis stratified-bfi bfi random \
+        --workload waypoint --budget 60 --workers 4 --json table3.json
+
+Quick smoke campaign::
+
+    python -m repro.engine --strategy random --budget 6 --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import RunConfiguration
+from repro.core.strategies import (
+    AvisStrategy,
+    BayesianFaultInjection,
+    BreadthFirstSearch,
+    DepthFirstSearch,
+    RandomInjection,
+    StratifiedBFI,
+)
+from repro.engine.grid import CampaignGrid, GridCell
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.firmware.px4 import Px4Firmware
+from repro.workloads.builtin import (
+    AutoWorkload,
+    PositionHoldBoxWorkload,
+    WaypointFenceWorkload,
+)
+
+FIRMWARES = {"ardupilot": ArduPilotFirmware, "px4": Px4Firmware}
+
+STRATEGIES: Dict[str, Callable[[], object]] = {
+    "avis": AvisStrategy,
+    "stratified-bfi": StratifiedBFI,
+    "bfi": BayesianFaultInjection,
+    "random": RandomInjection,
+    "depth-first": DepthFirstSearch,
+    "breadth-first": BreadthFirstSearch,
+}
+
+
+def _workload_factory(name: str, altitude: float, box_side: float):
+    if name == "auto":
+        return lambda: AutoWorkload(altitude=altitude)
+    if name == "waypoint":
+        return lambda: WaypointFenceWorkload(altitude=altitude, box_side=box_side)
+    if name == "poshold":
+        return lambda: PositionHoldBoxWorkload(altitude=altitude, box_side=box_side)
+    raise ValueError(f"unknown workload '{name}'")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Shard a (firmware x workload x strategy x budget) "
+        "campaign matrix across worker processes.",
+    )
+    parser.add_argument(
+        "--firmware", nargs="+", choices=sorted(FIRMWARES), default=["ardupilot"],
+        help="firmware flavours to check",
+    )
+    parser.add_argument(
+        "--workload", nargs="+", choices=["auto", "waypoint", "poshold"],
+        default=["waypoint"], help="workloads to fly",
+    )
+    parser.add_argument(
+        "--strategy", nargs="+", choices=sorted(STRATEGIES),
+        default=["avis", "stratified-bfi", "bfi", "random"],
+        help="search strategies to compare",
+    )
+    parser.add_argument(
+        "--budget", nargs="+", type=float, default=[30.0],
+        help="budget(s) in simulation-cost units; one grid axis per value",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: CPU count, capped at 4)",
+    )
+    parser.add_argument("--profiling-runs", type=int, default=2)
+    parser.add_argument("--altitude", type=float, default=15.0)
+    parser.add_argument("--box-side", type=float, default=15.0)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the JSON summary here instead of stdout",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-campaign progress lines"
+    )
+    return parser
+
+
+def build_cells(args: argparse.Namespace) -> List[GridCell]:
+    cells: List[GridCell] = []
+    for firmware_name in args.firmware:
+        for workload_name in args.workload:
+            config = RunConfiguration(
+                firmware_class=FIRMWARES[firmware_name],
+                workload_factory=_workload_factory(
+                    workload_name, args.altitude, args.box_side
+                ),
+            )
+            for strategy_name in args.strategy:
+                for budget in args.budget:
+                    cells.append(
+                        GridCell(
+                            cell_id=f"{firmware_name}/{workload_name}/"
+                            f"{strategy_name}/{budget:g}",
+                            config=config,
+                            strategy_factory=STRATEGIES[strategy_name],
+                            budget_units=budget,
+                            profiling_runs=args.profiling_runs,
+                        )
+                    )
+    return cells
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.json:
+        # Fail fast: campaigns can run for minutes; an unwritable output
+        # path must not surface only after the grid has finished.
+        directory = os.path.dirname(os.path.abspath(args.json))
+        if not os.path.isdir(directory):
+            parser.error(f"--json: directory does not exist: {directory}")
+        if not os.access(directory, os.W_OK):
+            parser.error(f"--json: directory is not writable: {directory}")
+    cells = build_cells(args)
+    grid = CampaignGrid(cells, max_workers=args.workers)
+    if not args.quiet:
+        print(
+            f"campaign grid: {len(cells)} campaigns across "
+            f"{min(grid.max_workers, len(cells))} worker(s)",
+            file=sys.stderr,
+        )
+
+    def progress(cell_id: str, campaign) -> None:
+        if not args.quiet:
+            print(f"  done {cell_id}: {campaign.summary().strip()}", file=sys.stderr)
+
+    outcome = grid.run(on_progress=progress)
+    summary = json.dumps(outcome.summary(), indent=2, sort_keys=True)
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(summary + "\n")
+        except OSError as error:
+            # Never lose finished campaigns to an output error.
+            print(f"could not write {args.json}: {error}", file=sys.stderr)
+            print(summary)
+            return 1
+        if not args.quiet:
+            print(f"summary written to {args.json}", file=sys.stderr)
+    else:
+        print(summary)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,207 @@
+"""Campaign grids: sharding a campaign matrix across worker processes.
+
+A *grid* is the (firmware x workload x strategy x budget) matrix behind
+the paper's evaluation tables: Table III/IV run every strategy on every
+firmware, Table V runs two strategies per re-inserted bug.  Each cell is
+one full campaign -- profile the fault-free mission, calibrate the
+monitor, run the strategy to budget exhaustion -- and cells are
+completely independent, so the grid shards them across a forked worker
+pool, one campaign per worker at a time.
+
+Inside a grid worker every campaign uses the :class:`SerialBackend`
+(nesting process pools inside pool workers is not supported by
+``multiprocessing`` daemonic processes, and cell-level sharding already
+saturates the machine).  Because each cell is deterministic, a sharded
+grid produces exactly the results of the equivalent sequential loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.avis import Avis, CampaignResult
+from repro.core.config import RunConfiguration
+from repro.engine.backends import SerialBackend, _fork_available
+
+
+@dataclass
+class GridCell:
+    """One campaign of the matrix.
+
+    ``strategy_factory`` (rather than a strategy instance) because
+    strategies carry per-campaign state (RNG position, enumeration
+    cursors); every cell must start from a fresh instance.
+    """
+
+    cell_id: str
+    config: RunConfiguration
+    strategy_factory: Callable[[], object]
+    budget_units: float = 60.0
+    profiling_runs: int = 2
+    simulation_cost: float = 1.0
+    labelling_cost: float = 0.15
+
+
+#: Cells inherited by forked grid workers (set before the pool forks).
+_GRID_CELLS: Optional[Sequence[GridCell]] = None
+
+
+def _run_cell(index: int) -> Tuple[int, CampaignResult, float]:
+    """Execute one grid cell inside a worker; returns (index, result, seconds)."""
+    assert _GRID_CELLS is not None
+    cell = _GRID_CELLS[index]
+    started = time.perf_counter()
+    avis = Avis(
+        cell.config,
+        profiling_runs=cell.profiling_runs,
+        budget_units=cell.budget_units,
+        simulation_cost=cell.simulation_cost,
+        labelling_cost=cell.labelling_cost,
+        backend=SerialBackend(),
+    )
+    avis.profile()
+    campaign = avis.check(strategy=cell.strategy_factory())
+    return index, campaign, time.perf_counter() - started
+
+
+@dataclass
+class GridOutcome:
+    """Everything a grid run produced, ready for JSON summarising."""
+
+    results: Dict[str, CampaignResult]
+    wall_seconds: float
+    cell_seconds: Dict[str, float]
+    workers: int
+
+    def summary(self) -> dict:
+        """A JSON-serialisable summary of the whole grid run."""
+        campaigns = []
+        for cell_id, campaign in self.results.items():
+            campaigns.append(
+                {
+                    "cell": cell_id,
+                    "firmware": campaign.firmware_name,
+                    "workload": campaign.workload_name,
+                    "strategy": campaign.strategy_name,
+                    "simulations": campaign.simulations,
+                    "labels": campaign.labels,
+                    "budget_spent": campaign.budget_spent,
+                    "unsafe_scenarios": campaign.unsafe_scenario_count,
+                    "unsafe_conditions": campaign.unsafe_condition_count,
+                    "triggered_bugs": sorted(campaign.triggered_bug_ids),
+                    "per_mode": campaign.per_mode_counts,
+                    "efficiency": campaign.efficiency,
+                    "wall_seconds": self.cell_seconds.get(cell_id),
+                }
+            )
+        return {
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "campaigns": campaigns,
+            "totals": {
+                "campaigns": len(campaigns),
+                "simulations": sum(c["simulations"] for c in campaigns),
+                "unsafe_scenarios": sum(c["unsafe_scenarios"] for c in campaigns),
+            },
+        }
+
+
+class CampaignGrid:
+    """Runs a list of grid cells, sharded across worker processes."""
+
+    def __init__(
+        self, cells: Sequence[GridCell], max_workers: Optional[int] = None
+    ) -> None:
+        ids = [cell.cell_id for cell in cells]
+        if len(set(ids)) != len(ids):
+            raise ValueError("grid cell ids must be unique")
+        self._cells = list(cells)
+        if max_workers is None:
+            max_workers = max(1, min(4, os.cpu_count() or 1))
+        self._max_workers = max(1, max_workers)
+
+    @property
+    def cells(self) -> List[GridCell]:
+        """The configured cells, in matrix order."""
+        return list(self._cells)
+
+    @property
+    def max_workers(self) -> int:
+        """The configured shard count."""
+        return self._max_workers
+
+    def run(
+        self,
+        on_progress: Optional[Callable[[str, CampaignResult], None]] = None,
+    ) -> GridOutcome:
+        """Execute every cell; ``on_progress`` fires as campaigns finish.
+
+        Results are keyed by cell id, so completion order (which the
+        pool does not guarantee) never affects the outcome.
+        """
+        started = time.perf_counter()
+        results: Dict[str, CampaignResult] = {}
+        cell_seconds: Dict[str, float] = {}
+        workers = min(self._max_workers, len(self._cells)) or 1
+
+        if workers <= 1 or not _fork_available():
+            workers = 1
+            for index in range(len(self._cells)):
+                self._collect(_run_cell_local(self._cells, index), results,
+                              cell_seconds, on_progress)
+        else:
+            global _GRID_CELLS
+            _GRID_CELLS = self._cells
+            context = multiprocessing.get_context("fork")
+            try:
+                with context.Pool(processes=workers) as pool:
+                    for outcome in pool.imap_unordered(
+                        _run_cell, range(len(self._cells))
+                    ):
+                        self._collect(outcome, results, cell_seconds, on_progress)
+            finally:
+                _GRID_CELLS = None
+
+        # Re-key into matrix order for stable summaries.
+        ordered = {
+            cell.cell_id: results[cell.cell_id]
+            for cell in self._cells
+            if cell.cell_id in results
+        }
+        return GridOutcome(
+            results=ordered,
+            wall_seconds=time.perf_counter() - started,
+            cell_seconds=cell_seconds,
+            workers=workers,
+        )
+
+    def _collect(
+        self,
+        outcome: Tuple[int, CampaignResult, float],
+        results: Dict[str, CampaignResult],
+        cell_seconds: Dict[str, float],
+        on_progress: Optional[Callable[[str, CampaignResult], None]],
+    ) -> None:
+        index, campaign, seconds = outcome
+        cell_id = self._cells[index].cell_id
+        results[cell_id] = campaign
+        cell_seconds[cell_id] = seconds
+        if on_progress is not None:
+            on_progress(cell_id, campaign)
+
+
+def _run_cell_local(
+    cells: Sequence[GridCell], index: int
+) -> Tuple[int, CampaignResult, float]:
+    """Serial-path equivalent of :func:`_run_cell` (no global needed)."""
+    global _GRID_CELLS
+    previous = _GRID_CELLS
+    _GRID_CELLS = cells
+    try:
+        return _run_cell(index)
+    finally:
+        _GRID_CELLS = previous

@@ -1,0 +1,252 @@
+"""Tests for the parallel campaign engine (backends, cache, grid)."""
+
+import json
+
+import pytest
+
+from conftest import make_run_result
+
+from repro.core.avis import Avis
+from repro.core.strategies import (
+    DepthFirstSearch,
+    RandomInjection,
+    SearchStrategy,
+    StratifiedBFI,
+)
+from repro.core.strategies.avis_strategy import AvisStrategy
+from repro.engine.backends import ProcessPoolBackend, SerialBackend
+from repro.engine.cache import ResultCache, config_fingerprint, scenario_key
+from repro.engine.grid import CampaignGrid, GridCell
+from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.sensors.base import SensorId, SensorType
+
+
+class TestBatchProtocol:
+    def test_default_propose_batch_is_unsupported(self):
+        class Sequential(SearchStrategy):
+            def explore(self, session):
+                pass
+
+        strategy = Sequential()
+        assert not strategy.supports_batching
+        assert strategy.propose_batch(None, 4) is None
+
+    def test_batchable_strategies_advertise_support(self):
+        assert RandomInjection().supports_batching
+        assert DepthFirstSearch().supports_batching
+        assert StratifiedBFI().supports_batching
+        assert not AvisStrategy().supports_batching
+
+    def test_depth_first_batches_follow_enumeration_order(self, waypoint_avis):
+        from repro.core.runner import TestRunner
+        from repro.core.session import BudgetAccount, ExplorationSession
+
+        session = ExplorationSession(
+            runner=TestRunner(waypoint_avis.config),
+            budget=BudgetAccount(total_units=100.0),
+            profiling_run=waypoint_avis.profiling_results[0],
+        )
+        strategy = DepthFirstSearch()
+        first = strategy.propose_batch(session, 3)
+        second = strategy.propose_batch(session, 3)
+        expected = []
+        for scenario in DepthFirstSearch.enumerate_scenarios(
+            session.sensor_ids, strategy._times(session)
+        ):
+            if not scenario.is_empty and scenario not in expected:
+                expected.append(scenario)
+            if len(expected) >= 6:
+                break
+        assert first + second == expected
+
+
+class TestSequentialEquivalence:
+    """The engine's batched path must match the strategies' own
+    sequential explore() loops -- scenarios, budget trajectory, and all."""
+
+    def _sequential_reference(self, avis, strategy, budget_units):
+        from repro.core.runner import TestRunner
+        from repro.core.session import BudgetAccount, ExplorationSession
+        from repro.sensors.suite import iris_sensor_suite
+
+        session = ExplorationSession(
+            runner=TestRunner(avis.config, monitor=avis.monitor),
+            budget=BudgetAccount(total_units=budget_units),
+            profiling_run=avis.profiling_results[0],
+            suite=iris_sensor_suite(noise_seed=avis.config.noise_seed),
+        )
+        strategy.explore(session)
+        return session
+
+    @pytest.mark.parametrize("budget", [3.0, 5.0])
+    def test_stratified_bfi_batched_matches_sequential(
+        self, short_auto_config, budget
+    ):
+        # The label/simulate interleaving makes StratifiedBFI the
+        # sensitive case: labelling ahead of the simulations must not
+        # shift where the budget runs out.
+        avis = Avis(short_auto_config, profiling_runs=2, budget_units=budget)
+        avis.profile()
+        batched = avis.check(strategy=StratifiedBFI())
+        reference = self._sequential_reference(avis, StratifiedBFI(), budget)
+        assert batched.simulations == len(reference.results)
+        assert [r.scenario for r in batched.results] == [
+            r.scenario for r in reference.results
+        ]
+        assert batched.budget_spent == pytest.approx(
+            reference.budget.spent_units
+        )
+        assert batched.labels == reference.budget.labels
+
+    def test_strategy_reuse_across_campaigns_restarts(self, waypoint_avis):
+        # A strategy instance reused for a second campaign must restart
+        # its enumeration, not resume the first campaign's cursor.
+        strategy = DepthFirstSearch()
+        first = waypoint_avis.check(strategy=strategy, budget_units=2)
+        second = waypoint_avis.check(strategy=strategy, budget_units=2)
+        assert [r.scenario for r in first.results] == [
+            r.scenario for r in second.results
+        ]
+
+
+class TestResultCache:
+    def _scenario(self, time=2.0):
+        return FaultScenario([FaultSpec(SensorId(SensorType.GPS, 0), time)])
+
+    def test_keys_are_content_addressed(self, short_auto_config):
+        key_a = scenario_key(short_auto_config, "auto", self._scenario())
+        key_b = scenario_key(short_auto_config, "auto", self._scenario())
+        key_c = scenario_key(short_auto_config, "auto", self._scenario(time=3.0))
+        key_d = scenario_key(
+            short_auto_config.with_noise_seed(99), "auto", self._scenario()
+        )
+        assert key_a == key_b
+        assert key_a != key_c
+        assert key_a != key_d
+        assert "noise_seed=0" in config_fingerprint(short_auto_config, "auto")
+
+    def test_workload_fingerprint_includes_parameters(self):
+        from repro.core.config import RunConfiguration
+        from repro.engine.cache import workload_fingerprint
+        from repro.workloads.builtin import AutoWorkload
+
+        def cfg(altitude):
+            return RunConfiguration(
+                workload_factory=lambda: AutoWorkload(altitude=altitude)
+            )
+
+        # Same display name, different parameters: must not collide.
+        assert workload_fingerprint(cfg(8.0)) != workload_fingerprint(cfg(12.0))
+        assert workload_fingerprint(cfg(8.0)) == workload_fingerprint(cfg(8.0))
+
+    def test_hit_and_miss_counters(self, short_auto_config):
+        cache = ResultCache()
+        key = scenario_key(short_auto_config, "auto", self._scenario())
+        assert cache.get(key) is None
+        assert cache.stats == {"hits": 0, "misses": 1, "entries": 0}
+        result = make_run_result()
+        cache.put(key, result)
+        assert key in cache
+        assert cache.get(key) is result
+        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_disk_round_trip(self, tmp_path, short_auto_config):
+        key = scenario_key(short_auto_config, "auto", self._scenario())
+        writer = ResultCache(directory=str(tmp_path))
+        writer.put(key, make_run_result(triggered_bugs=["APM-0001"]))
+        reader = ResultCache(directory=str(tmp_path))
+        restored = reader.get(key)
+        assert restored is not None
+        assert restored.triggered_bugs == ["APM-0001"]
+        assert reader.hits == 1
+
+
+class TestBackendDeterminism:
+    def _campaign(self, config, backend, rng_seed=5, budget=5.0):
+        avis = Avis(config, profiling_runs=2, budget_units=budget, backend=backend)
+        avis.profile()
+        return avis.check(strategy=RandomInjection(rng_seed=rng_seed))
+
+    def test_process_pool_matches_serial(self, short_auto_config):
+        serial = self._campaign(short_auto_config, SerialBackend())
+        pooled = self._campaign(
+            short_auto_config, ProcessPoolBackend(max_workers=4)
+        )
+        assert pooled.simulations == serial.simulations
+        assert pooled.unsafe_scenario_count == serial.unsafe_scenario_count
+        assert pooled.triggered_bug_ids == serial.triggered_bug_ids
+        # Not just the counts: the same scenarios, in the same order,
+        # with the same per-run verdicts.
+        assert [r.scenario for r in pooled.results] == [
+            r.scenario for r in serial.results
+        ]
+        assert [len(r.unsafe_conditions) for r in pooled.results] == [
+            len(r.unsafe_conditions) for r in serial.results
+        ]
+
+    def test_cache_replays_identical_campaign(self, short_auto_config):
+        avis = Avis(short_auto_config, profiling_runs=2, budget_units=4.0)
+        avis.profile()
+        cold = avis.check(strategy=RandomInjection(rng_seed=3))
+        assert avis.cache.misses >= cold.simulations
+        warm = avis.check(strategy=RandomInjection(rng_seed=3))
+        assert avis.cache.hits >= warm.simulations
+        # A hit still charges budget, so the campaigns are identical.
+        assert warm.simulations == cold.simulations
+        assert warm.unsafe_scenario_count == cold.unsafe_scenario_count
+        assert [r.scenario for r in warm.results] == [
+            r.scenario for r in cold.results
+        ]
+
+
+class TestCampaignGrid:
+    def test_grid_runs_matrix_and_summarises(self, short_auto_config, tmp_path):
+        cells = [
+            GridCell(
+                cell_id=f"ardupilot/auto/random-{seed}",
+                config=short_auto_config,
+                strategy_factory=lambda seed=seed: RandomInjection(rng_seed=seed),
+                budget_units=2.0,
+            )
+            for seed in (1, 2)
+        ]
+        seen = []
+        outcome = CampaignGrid(cells, max_workers=1).run(
+            on_progress=lambda cell_id, campaign: seen.append(cell_id)
+        )
+        assert sorted(seen) == sorted(c.cell_id for c in cells)
+        assert list(outcome.results) == [c.cell_id for c in cells]
+        summary = outcome.summary()
+        json.dumps(summary)  # must be JSON-serialisable
+        assert summary["totals"]["campaigns"] == 2
+        assert all(c["simulations"] <= 2 for c in summary["campaigns"])
+
+    def test_grid_rejects_duplicate_cell_ids(self, short_auto_config):
+        cell = GridCell(
+            cell_id="dup", config=short_auto_config, strategy_factory=RandomInjection
+        )
+        with pytest.raises(ValueError):
+            CampaignGrid([cell, cell])
+
+
+class TestEngineCli:
+    def test_cli_writes_json_summary(self, tmp_path):
+        from repro.engine.cli import main
+
+        out = tmp_path / "grid.json"
+        code = main(
+            [
+                "--strategy", "random",
+                "--workload", "auto",
+                "--budget", "2",
+                "--workers", "1",
+                "--quiet",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(out.read_text())
+        assert summary["totals"]["campaigns"] == 1
+        campaign = summary["campaigns"][0]
+        assert campaign["strategy"] == "random"
+        assert campaign["simulations"] <= 2
