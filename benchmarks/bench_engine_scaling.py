@@ -1,11 +1,17 @@
-"""Engine scaling: serial vs. 2- and 4-worker wall-clock on a fixed grid.
+"""Engine scaling: worker-count and fleet-size axes on fixed campaigns.
 
-A fixed, seeded 32-scenario campaign (the same scenarios, in the same
-order) is executed through :class:`SerialBackend` and through
-:class:`ProcessPoolBackend` with 2 and 4 workers.  The measured
-wall-clock times and speedups are written to ``BENCH_engine.json`` next
-to the repository root, and the backends are asserted to agree on every
-per-scenario outcome (the determinism contract).
+Two scaling axes are measured and written to ``BENCH_engine.json`` next
+to the repository root:
+
+* **Workers** -- a fixed, seeded 32-scenario campaign (the same
+  scenarios, in the same order) executed through :class:`SerialBackend`
+  and through :class:`ProcessPoolBackend` with 2 and 4 workers, with the
+  backends asserted to agree on every per-scenario outcome (the
+  determinism contract).
+* **Fleet size** -- a fixed batch of battery-fault scenarios flown by
+  the multi-pad fleet workload at fleet sizes 2 and 3, recording
+  seconds per simulation so the cost of hosting more vehicles per run
+  is tracked over time.
 
 The speedup assertion (>1.5x with 4 workers) only applies on machines
 with at least two usable cores -- a process pool cannot beat serial
@@ -26,11 +32,15 @@ from repro.core.config import RunConfiguration
 from repro.engine.backends import ProcessPoolBackend, SerialBackend
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.sensors.base import SensorId, SensorType
 from repro.sensors.suite import iris_sensor_suite
 from repro.workloads.builtin import AutoWorkload
+from repro.workloads.fleet import MultiPadTakeoffLandWorkload
 
 SCENARIO_COUNT = 32
 RNG_SEED = 17
+FLEET_SIZES = (2, 3)
+FLEET_SCENARIO_COUNT = 4
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -66,6 +76,55 @@ def _fixed_scenarios() -> list:
     return scenarios
 
 
+def _fleet_config(fleet_size: int) -> RunConfiguration:
+    return RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: MultiPadTakeoffLandWorkload(fleet_size=fleet_size),
+        fleet_size=fleet_size,
+        max_sim_time_s=160.0,
+    )
+
+
+def _fleet_scenarios(fleet_size: int) -> list:
+    """Battery faults spread across the fleet and the mission timeline."""
+    scenarios = []
+    for index in range(FLEET_SCENARIO_COUNT):
+        vehicle = index % fleet_size
+        scenarios.append(
+            FaultScenario(
+                [
+                    FaultSpec(
+                        SensorId(SensorType.BATTERY, 0, vehicle=vehicle),
+                        10.0 + 3.0 * index,
+                    )
+                ]
+            )
+        )
+    return scenarios
+
+
+def _measure_fleet_axis() -> dict:
+    """Seconds per simulation at each fleet size (serial backend)."""
+    axis = {}
+    for fleet_size in FLEET_SIZES:
+        config = _fleet_config(fleet_size)
+        scenarios = _fleet_scenarios(fleet_size)
+        started = time.perf_counter()
+        results = SerialBackend().run_scenarios(config, None, scenarios)
+        elapsed = time.perf_counter() - started
+        separations = [
+            r.min_separation_m for r in results if r.min_separation_m is not None
+        ]
+        axis[f"fleet{fleet_size}"] = {
+            "fleet_size": fleet_size,
+            "scenario_count": len(scenarios),
+            "wall_s": elapsed,
+            "seconds_per_simulation": elapsed / len(scenarios),
+            "min_separation_m": min(separations) if separations else None,
+        }
+    return axis
+
+
 def _outcome_signature(results) -> list:
     return [
         (str(result.scenario), result.steps, len(result.collisions),
@@ -98,6 +157,8 @@ def test_engine_scaling(benchmark, capsys):
     assert signatures["workers2"] == signatures["serial"]
     assert signatures["workers4"] == signatures["serial"]
 
+    fleet_axis = _measure_fleet_axis()
+
     cpus = _usable_cpus()
     report = {
         "scenario_count": SCENARIO_COUNT,
@@ -107,6 +168,7 @@ def test_engine_scaling(benchmark, capsys):
         "workers4_s": timings["workers4"],
         "speedup_workers2": timings["serial"] / timings["workers2"],
         "speedup_workers4": timings["serial"] / timings["workers4"],
+        "fleet_scaling": fleet_axis,
     }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
 
@@ -117,6 +179,10 @@ def test_engine_scaling(benchmark, capsys):
               f"({report['speedup_workers2']:.2f}x)")
         print(f"  4 workers : {report['workers4_s']:.2f}s "
               f"({report['speedup_workers4']:.2f}x)")
+        for label, entry in fleet_axis.items():
+            print(f"  {label}    : {entry['wall_s']:.2f}s for "
+                  f"{entry['scenario_count']} sims "
+                  f"({entry['seconds_per_simulation']:.2f}s/sim)")
         print(f"  written to {OUTPUT_PATH}")
 
     if cpus >= 4:

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fleet campaigns: checking a multi-vehicle convoy for separation bugs.
+
+Three stages, each building on the previous one:
+
+1. fly the two-vehicle convoy fault-free and show the calibrated
+   minimum-separation invariant the profiling runs produce;
+2. inject a battery failure on the convoy lead mid-corridor: its
+   fail-safe return flies head-on through the follower's slot and the
+   monitor reports a ``separation`` unsafe condition;
+3. run a short SABRE campaign over the namespaced fleet fault space --
+   the Python-API equivalent of
+   ``python -m repro.engine --workload convoy --fleet-size 2``.
+
+Run with:  python examples/fleet_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro import Avis, RunConfiguration
+from repro.core.runner import TestRunner
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.sensors.base import SensorId, SensorType
+from repro.workloads.fleet import ConvoyFollowWorkload
+
+
+def make_config() -> RunConfiguration:
+    return RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: ConvoyFollowWorkload(),
+        fleet_size=2,
+        max_sim_time_s=160.0,
+    )
+
+
+def main() -> None:
+    config = make_config()
+
+    print("1. Profiling the fault-free convoy calibrates the invariant:")
+    avis = Avis(config, profiling_runs=2, budget_units=12)
+    profiles = avis.profile()
+    golden_min = min(run.min_separation_m for run in profiles)
+    print(f"  golden minimum separation : {golden_min:.2f} m")
+    print(f"  calibrated threshold      : "
+          f"{avis.monitor.separation_threshold_m:.2f} m")
+
+    print("\n2. A battery failure on the lead sends it back through the "
+          "follower:")
+    scenario = FaultScenario(
+        [FaultSpec(SensorId(SensorType.BATTERY, 0, vehicle=0), 18.0)]
+    )
+    runner = TestRunner(config, monitor=avis.monitor)
+    avis.monitor.begin_run()
+    result = runner.run(scenario)
+    print(f"  scenario   : {scenario.describe()}")
+    print(f"  min sep    : {result.min_separation_m:.2f} m")
+    for condition in result.unsafe_conditions:
+        print(f"  unsafe     : {condition.describe()}")
+
+    print("\n3. A short SABRE campaign over the fleet fault space:")
+    campaign = avis.check()
+    print(f"  {campaign.summary().strip()}")
+    for unsafe in campaign.unsafe_results:
+        kinds = ", ".join(c.kind.value for c in unsafe.unsafe_conditions)
+        print(f"  {unsafe.scenario.describe()} -> {kinds}")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,13 @@ class RunConfiguration:
         Abort a run as soon as the invariant monitor reports a violation
         (saves simulation budget; the paper's runs likewise end once an
         unsafe condition has been recorded).
+    fleet_size:
+        Number of vehicles hosted by one simulation.  The default of 1
+        is the classic Avis setup and is bit-identical to the
+        pre-fleet engine; fleet workloads (:mod:`repro.workloads.fleet`)
+        need 2 or more.
+    fleet_pad_spacing_m:
+        East spacing between fleet launch pads, in metres.
     """
 
     firmware_class: Type[ControlFirmware] = ArduPilotFirmware
@@ -73,6 +80,12 @@ class RunConfiguration:
     reinserted_bugs: Tuple[str, ...] = ()
     disabled_bugs: Tuple[str, ...] = ()
     stop_on_unsafe: bool = True
+    fleet_size: int = 1
+    fleet_pad_spacing_m: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.fleet_size < 1:
+            raise ValueError("fleet_size must be at least 1")
 
     def with_noise_seed(self, noise_seed: int) -> "RunConfiguration":
         """Return a copy of the configuration with a different noise seed."""
@@ -89,6 +102,8 @@ class RunConfiguration:
             reinserted_bugs=self.reinserted_bugs,
             disabled_bugs=self.disabled_bugs,
             stop_on_unsafe=self.stop_on_unsafe,
+            fleet_size=self.fleet_size,
+            fleet_pad_spacing_m=self.fleet_pad_spacing_m,
         )
 
     @property

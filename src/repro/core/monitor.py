@@ -31,6 +31,7 @@ class UnsafeConditionKind(enum.Enum):
     SAFETY_SOFTWARE_CRASH = "safety-software-crash"
     LIVELINESS = "liveliness"
     SAFE_MODE_PROGRESS = "safe-mode-progress"
+    SEPARATION = "separation"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -122,7 +123,22 @@ class _OnlineProgressTracker:
 
 
 class InvariantMonitor:
-    """Combines the safety and liveliness monitors behind one interface."""
+    """Combines the safety, liveliness and separation monitors.
+
+    The minimum-separation invariant only activates for fleet runs: when
+    the profiling runs carry fleet separation data
+    (:attr:`~repro.core.runner.RunResult.min_separation_m`), the
+    threshold is calibrated below the tightest approach the fault-free
+    mission exhibits, so golden fleet runs never violate it.  For classic
+    single-vehicle campaigns the threshold stays ``None`` and the monitor
+    behaves exactly as before.
+    """
+
+    #: Calibration: the separation threshold is this fraction of the
+    #: tightest fault-free approach, capped at the absolute default.
+    SEPARATION_CALIBRATION_FACTOR = 0.5
+    #: Absolute cap on the calibrated threshold, in metres.
+    MAX_SEPARATION_THRESHOLD_M = 5.0
 
     def __init__(
         self,
@@ -130,6 +146,7 @@ class InvariantMonitor:
         safe_mode_labels: Optional[Set[str]] = None,
         impact_speed_threshold: float = 2.0,
         min_position_scale: float = 5.0,
+        min_separation_m: Optional[float] = None,
     ) -> None:
         self._safety = SafetyMonitor(impact_speed_threshold=impact_speed_threshold)
         self._liveliness = LivelinessMonitor(
@@ -138,6 +155,27 @@ class InvariantMonitor:
             min_position_scale=min_position_scale,
         )
         self._progress_tracker: Optional[_OnlineProgressTracker] = None
+        if min_separation_m is not None:
+            self._separation_threshold: Optional[float] = min_separation_m
+        else:
+            self._separation_threshold = self._calibrate_separation(profiling_runs)
+
+    @classmethod
+    def _calibrate_separation(
+        cls, profiling_runs: Sequence[RunResult]
+    ) -> Optional[float]:
+        """Derive the separation threshold from fleet profiling runs."""
+        golden = [
+            run.min_separation_m
+            for run in profiling_runs
+            if run.fleet_size > 1 and run.min_separation_m is not None
+        ]
+        if not golden:
+            return None
+        return min(
+            min(golden) * cls.SEPARATION_CALIBRATION_FACTOR,
+            cls.MAX_SEPARATION_THRESHOLD_M,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -151,6 +189,12 @@ class InvariantMonitor:
     def mode_graph(self) -> ModeGraph:
         """The mode graph built from the profiling runs."""
         return self._liveliness.mode_graph
+
+    @property
+    def separation_threshold_m(self) -> Optional[float]:
+        """The calibrated minimum-separation threshold (None when the
+        monitor was calibrated from single-vehicle profiling runs)."""
+        return self._separation_threshold
 
     def add_safe_mode(self, label: str) -> None:
         """Declare an additional safe mode (developer-supplied)."""
@@ -182,13 +226,57 @@ class InvariantMonitor:
     # Offline evaluation
     # ------------------------------------------------------------------
     def evaluate(self, result: RunResult) -> List[UnsafeCondition]:
-        """Evaluate a completed run against both rules."""
+        """Evaluate a completed run against every rule.
+
+        Scope note for fleet runs: safety (collisions, firmware crashes)
+        and separation cover every vehicle, but the liveliness windows
+        are calibrated from -- and evaluated against -- the lead's
+        trace only; follower workload labels follow a different mode
+        sequence than the profiled one, so judging them against the
+        lead's calibration would produce false alarms.  Per-vehicle
+        liveliness calibration is a roadmap follow-on.
+        """
         conditions: List[UnsafeCondition] = []
         for violation in self._safety.evaluate(result):
             conditions.append(self._from_safety(violation))
         for violation in self._liveliness.evaluate(result):
             conditions.append(self._from_liveliness(violation))
+        conditions.extend(self._evaluate_separation(result))
         return sorted(conditions, key=lambda condition: condition.time)
+
+    def _evaluate_separation(self, result: RunResult) -> List[UnsafeCondition]:
+        """Separation violations from the run's proximity event log.
+
+        One condition per conflicting pair (the simulator already limits
+        the log to one event per conflict entry; the first entry is the
+        finding, later re-entries of the same pair add no information).
+        The condition's mode label is the lower-indexed vehicle's
+        operating mode, namespaced when that vehicle is not the lead.
+        """
+        if self._separation_threshold is None or not result.proximity_events:
+            return []
+        conditions: List[UnsafeCondition] = []
+        seen_pairs: Set[tuple] = set()
+        for event in result.proximity_events:
+            pair = (event.vehicle_a, event.vehicle_b)
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            label = result.vehicle_mode_label_at(event.vehicle_a, event.time)
+            if event.vehicle_a:
+                label = f"v{event.vehicle_a}:{label}"
+            conditions.append(
+                UnsafeCondition(
+                    kind=UnsafeConditionKind.SEPARATION,
+                    time=event.time,
+                    mode_label=label,
+                    description=(
+                        f"{event.describe()} "
+                        f"(minimum separation {self._separation_threshold:.2f} m)"
+                    ),
+                )
+            )
+        return conditions
 
     # ------------------------------------------------------------------
     # Converters

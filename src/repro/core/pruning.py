@@ -24,9 +24,12 @@ from repro.hinj.faults import FaultScenario, FaultSpec
 from repro.sensors.base import SensorId, SensorRole, SensorType
 
 
-#: A canonical signature: how many instances of each (type, role) fail at
-#: each time.  Two scenarios with equal signatures are symmetric.
-SymmetrySignature = FrozenSet[Tuple[str, str, float, int]]
+#: A canonical signature: how many instances of each (vehicle, type, role)
+#: fail at each time.  Two scenarios with equal signatures are symmetric.
+#: The vehicle index is part of the signature because instance symmetry
+#: only holds within one airframe: the same backup failing on a different
+#: fleet member is a genuinely different scenario.
+SymmetrySignature = FrozenSet[Tuple[int, str, str, float, int]]
 
 
 def symmetry_signature(
@@ -36,10 +39,17 @@ def symmetry_signature(
     counts: Counter = Counter()
     for fault in scenario:
         role = role_of(fault.sensor_id)
-        counts[(fault.sensor_id.sensor_type.value, role.value, fault.start_time)] += 1
+        counts[
+            (
+                fault.sensor_id.vehicle,
+                fault.sensor_id.sensor_type.value,
+                role.value,
+                fault.start_time,
+            )
+        ] += 1
     return frozenset(
-        (sensor_type, role, time, count)
-        for (sensor_type, role, time), count in counts.items()
+        (vehicle, sensor_type, role, time, count)
+        for (vehicle, sensor_type, role, time), count in counts.items()
     )
 
 

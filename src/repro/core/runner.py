@@ -7,12 +7,21 @@ harness records the trace, mode transitions, collisions and fail-safe
 events.  :class:`TestRunner` wraps the harness behind a single
 ``run(scenario)`` call used by the search strategies, profiling and bug
 replay.
+
+Fleet runs (``config.fleet_size > 1``) provision one firmware instance,
+sensor suite, MAVLink link and ground-control station *per vehicle*, all
+driven in lock-step against a shared simulator and clock.  Vehicle 0 is
+the lead: the classic workload-facing attributes (``gcs``, ``telemetry``,
+``home``) refer to it, and fleet workloads reach the other vehicles
+through :meth:`SimulationHarness.vehicle`.  For fleet size 1 the harness
+builds exactly the pre-fleet object graph, so every classic scenario,
+trace and campaign is bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import RunConfiguration
 from repro.firmware.base import ControlFirmware
@@ -24,9 +33,15 @@ from repro.mavlink.gcs import GroundControlStation, TelemetrySnapshot
 from repro.mavlink.link import MavLink
 from repro.sensors.suite import SensorSuite, iris_sensor_suite
 from repro.sim.environment import GeoLocation
-from repro.sim.simulator import CollisionEvent, Simulator
+from repro.sim.simulator import CollisionEvent, ProximityEvent, Simulator
 from repro.sim.state import VehicleState
 from repro.workloads.framework import Target, WorkloadOutcome, WorkloadResult
+
+#: Noise-seed stride between fleet members: vehicle ``v`` uses
+#: ``config.noise_seed + v * FLEET_NOISE_SEED_STRIDE`` so every vehicle
+#: has an independent (but still deterministic) noise stream while
+#: vehicle 0 keeps the classic seed exactly.
+FLEET_NOISE_SEED_STRIDE = 1000003
 
 
 @dataclass(frozen=True)
@@ -34,7 +49,9 @@ class TraceSample:
     """One sample of the recorded run trace.
 
     The invariant monitor's state tuple ``(P, alpha, M)`` corresponds to
-    ``position``, ``acceleration`` and ``mode_label``.
+    ``position``, ``acceleration`` and ``mode_label``.  ``vehicle``
+    identifies the fleet member the sample belongs to (0 for classic
+    single-vehicle runs).
     """
 
     index: int
@@ -46,9 +63,12 @@ class TraceSample:
     altitude: float
     on_ground: bool
     armed: bool
+    vehicle: int = 0
 
     @staticmethod
-    def from_state(index: int, state: VehicleState, mode_label: str) -> "TraceSample":
+    def from_state(
+        index: int, state: VehicleState, mode_label: str, vehicle: int = 0
+    ) -> "TraceSample":
         """Build a sample from a simulator state snapshot."""
         return TraceSample(
             index=index,
@@ -60,12 +80,21 @@ class TraceSample:
             altitude=state.altitude,
             on_ground=state.on_ground,
             armed=state.armed,
+            vehicle=vehicle,
         )
 
 
 @dataclass
 class RunResult:
-    """Everything recorded about one simulated test run."""
+    """Everything recorded about one simulated test run.
+
+    ``trace`` and ``mode_transitions`` always describe vehicle 0 (the
+    only vehicle of a classic run, the lead of a fleet run); fleet runs
+    additionally fill ``vehicle_traces`` / ``vehicle_mode_transitions``
+    with the per-vehicle records (vehicle 0 included) plus the
+    inter-vehicle ``proximity_events`` and the minimum pairwise
+    separation observed.
+    """
 
     scenario: FaultScenario
     firmware_name: str
@@ -82,6 +111,16 @@ class RunResult:
     duration_s: float
     steps: int
     aborted_early: bool = False
+    fleet_size: int = 1
+    vehicle_traces: Dict[int, List[TraceSample]] = field(default_factory=dict)
+    vehicle_mode_transitions: Dict[int, List[ModeTransition]] = field(
+        default_factory=dict
+    )
+    proximity_events: List[ProximityEvent] = field(default_factory=list)
+    min_separation_m: Optional[float] = None
+    #: Per-vehicle firmware liveness (empty for classic runs, where
+    #: ``firmware_process_alive`` already tells the whole story).
+    vehicle_firmware_alive: Dict[int, bool] = field(default_factory=dict)
     #: Filled in by the invariant monitor.
     unsafe_conditions: List = field(default_factory=list)
 
@@ -106,9 +145,18 @@ class RunResult:
         return [transition.time for transition in self.mode_transitions]
 
     def mode_label_at(self, time: float) -> str:
-        """The operating-mode label in effect at ``time``."""
+        """The operating-mode label in effect at ``time`` (vehicle 0)."""
+        return self.vehicle_mode_label_at(0, time)
+
+    def vehicle_mode_label_at(self, vehicle: int, time: float) -> str:
+        """The operating-mode label of one fleet member at ``time``."""
+        transitions = (
+            self.mode_transitions
+            if vehicle == 0
+            else self.vehicle_mode_transitions.get(vehicle, [])
+        )
         label = "preflight"
-        for transition in self.mode_transitions:
+        for transition in transitions:
             if transition.time <= time:
                 label = transition.label
             else:
@@ -123,6 +171,116 @@ class RunResult:
             f"workload={outcome}, unsafe={len(self.unsafe_conditions)}, "
             f"bugs={','.join(self.triggered_bugs) or 'none'}"
         )
+
+
+class _VehicleUnit:
+    """One fleet member's private component set.
+
+    Everything the paper provisions per test run -- sensor suite, fault
+    scheduler, hinj interface, MAVLink link, ground-control station and
+    firmware -- exists once per vehicle; only the simulator, environment
+    and clock are shared across the fleet.
+    """
+
+    def __init__(
+        self,
+        vehicle: int,
+        config: RunConfiguration,
+        environment,
+        scenario: FaultScenario,
+        pad_offset: Tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        self.vehicle = vehicle
+        noise_seed = config.noise_seed + vehicle * FLEET_NOISE_SEED_STRIDE
+        self.suite: SensorSuite = iris_sensor_suite(noise_seed=noise_seed)
+        self.scheduler = FaultScheduler(scenario.vehicle_view(vehicle))
+        self.hinj = HinjInterface(self.scheduler)
+        self.link = MavLink()
+        self.gcs = GroundControlStation(self.link)
+
+        firmware_kwargs = dict(
+            suite=self.suite,
+            airframe=config.airframe,
+            environment=environment,
+            link=self.link,
+            hinj=self.hinj,
+            dt=config.dt,
+        )
+        if vehicle > 0:
+            # Vehicle 0 never receives the kwarg, so classic runs keep
+            # working with firmware classes that predate fleet support.
+            firmware_kwargs["initial_hold_point"] = pad_offset
+        if config.firmware_params is not None:
+            firmware_kwargs["params"] = config.firmware_params
+        self.firmware: ControlFirmware = config.firmware_class(**firmware_kwargs)
+        for bug_id in config.reinserted_bugs:
+            self.firmware.bug_registry.reinsert(bug_id)
+        for bug_id in config.disabled_bugs:
+            self.firmware.bug_registry.disable(bug_id)
+
+    def namespaced_injections(self) -> List[InjectionRecord]:
+        """The scheduler's injection log, re-namespaced to this vehicle."""
+        records = self.scheduler.injections
+        if self.vehicle == 0:
+            return records
+        return [
+            InjectionRecord(
+                sensor_id=record.sensor_id.for_vehicle(self.vehicle),
+                scheduled_time=record.scheduled_time,
+                injected_time=record.injected_time,
+            )
+            for record in records
+        ]
+
+
+class VehicleHandle:
+    """The per-vehicle facade fleet workloads drive.
+
+    Mirrors the vehicle-specific slice of the harness interface
+    documented on :class:`repro.workloads.framework.Target`: the ground
+    control station, telemetry, launch-pad offset and guided commands of
+    one fleet member.
+    """
+
+    def __init__(self, harness: "SimulationHarness", vehicle: int) -> None:
+        self._harness = harness
+        self._vehicle = vehicle
+        self._unit = harness._units[vehicle]
+
+    @property
+    def index(self) -> int:
+        """This vehicle's fleet index."""
+        return self._vehicle
+
+    @property
+    def gcs(self) -> GroundControlStation:
+        """This vehicle's ground-control station."""
+        return self._unit.gcs
+
+    @property
+    def telemetry(self) -> TelemetrySnapshot:
+        """This vehicle's latest telemetry view."""
+        return self._unit.gcs.telemetry
+
+    @property
+    def firmware(self) -> ControlFirmware:
+        """This vehicle's firmware instance."""
+        return self._unit.firmware
+
+    @property
+    def pad_offset(self) -> Tuple[float, float]:
+        """(north, east) offset of this vehicle's launch pad from home."""
+        return self._harness.simulator.pad_offset(self._vehicle)
+
+    @property
+    def state(self) -> VehicleState:
+        """Ground-truth state (used by tests; workloads should rely on
+        telemetry, like the paper's framework)."""
+        return self._harness.simulator.state_of(self._vehicle)
+
+    def set_guided_target(self, north: float, east: float, altitude: float) -> None:
+        """Forward a guided target (offsets from home) to this firmware."""
+        self._unit.firmware.set_guided_target(north, east, altitude)
 
 
 class SimulationHarness:
@@ -144,35 +302,42 @@ class SimulationHarness:
         self._monitor = monitor
 
         environment = config.environment_factory()
+        separation_threshold = 0.0
+        if monitor is not None:
+            separation_threshold = getattr(monitor, "separation_threshold_m", None) or 0.0
         self.simulator = Simulator(
-            airframe=config.airframe, environment=environment, dt=config.dt
-        )
-        self.suite: SensorSuite = iris_sensor_suite(noise_seed=config.noise_seed)
-        self.scheduler = FaultScheduler(scenario)
-        self.hinj = HinjInterface(self.scheduler)
-        self.link = MavLink()
-        self.gcs = GroundControlStation(self.link)
-
-        firmware_kwargs = dict(
-            suite=self.suite,
             airframe=config.airframe,
             environment=environment,
-            link=self.link,
-            hinj=self.hinj,
             dt=config.dt,
+            fleet_size=config.fleet_size,
+            pad_spacing_m=config.fleet_pad_spacing_m,
+            proximity_threshold_m=separation_threshold,
         )
-        if config.firmware_params is not None:
-            firmware_kwargs["params"] = config.firmware_params
-        self.firmware: ControlFirmware = config.firmware_class(**firmware_kwargs)
-        for bug_id in config.reinserted_bugs:
-            self.firmware.bug_registry.reinsert(bug_id)
-        for bug_id in config.disabled_bugs:
-            self.firmware.bug_registry.disable(bug_id)
+        self._units: List[_VehicleUnit] = [
+            _VehicleUnit(
+                vehicle,
+                config,
+                environment,
+                scenario,
+                pad_offset=self.simulator.pad_offset(vehicle),
+            )
+            for vehicle in range(config.fleet_size)
+        ]
 
-        self._trace: List[TraceSample] = []
+        # Classic single-vehicle aliases (vehicle 0, the lead).
+        lead = self._units[0]
+        self.suite: SensorSuite = lead.suite
+        self.scheduler = lead.scheduler
+        self.hinj = lead.hinj
+        self.link = lead.link
+        self.gcs = lead.gcs
+        self.firmware: ControlFirmware = lead.firmware
+
+        self._traces: List[List[TraceSample]] = [[] for _ in self._units]
         self._steps = 0
         self._abort = False
         self._unsafe_found = False
+        self._proximity_seen = 0
         self._max_steps = int(config.max_sim_time_s / config.dt)
         self._sample_interval = max(config.sample_interval_steps, 1)
         self._record_sample()
@@ -191,8 +356,24 @@ class SimulationHarness:
         return self.simulator.time
 
     @property
+    def fleet_size(self) -> int:
+        """Number of vehicles hosted by this simulation."""
+        return self._config.fleet_size
+
+    def vehicle(self, index: int) -> VehicleHandle:
+        """The per-vehicle facade for fleet member ``index``."""
+        if not 0 <= index < len(self._units):
+            raise IndexError(f"no vehicle {index} in a fleet of {len(self._units)}")
+        return VehicleHandle(self, index)
+
+    @property
+    def vehicles(self) -> List[VehicleHandle]:
+        """Handles for every fleet member, in index order."""
+        return [VehicleHandle(self, index) for index in range(len(self._units))]
+
+    @property
     def telemetry(self) -> TelemetrySnapshot:
-        """The ground-control station's latest telemetry view."""
+        """The lead ground-control station's latest telemetry view."""
         return self.gcs.telemetry
 
     @property
@@ -227,7 +408,7 @@ class SimulationHarness:
         return mode.value.upper()
 
     def set_guided_target(self, north: float, east: float, altitude: float) -> None:
-        """Forward a guided target to the firmware."""
+        """Forward a guided target to the lead firmware."""
         self.firmware.set_guided_target(north, east, altitude)
 
     def should_abort(self) -> bool:
@@ -239,33 +420,62 @@ class SimulationHarness:
         for _ in range(count):
             if self._abort:
                 return
-            self.link.advance()
-            self.gcs.poll(self.time)
-            readings = self.suite.read_all(self.simulator.state, self.time)
-            command = self.firmware.update(readings, self.time)
-            self.simulator.step(command)
+            commands = []
+            for unit in self._units:
+                unit.link.advance()
+                unit.gcs.poll(self.time)
+                readings = unit.suite.read_all(
+                    self.simulator.state_of(unit.vehicle), self.time
+                )
+                commands.append(unit.firmware.update(readings, self.time))
+            self.simulator.step_fleet(commands)
             self._steps += 1
             if self._steps % self._sample_interval == 0:
                 self._record_sample()
             if self._steps >= self._max_steps:
                 self._abort = True
-            if self.simulator.has_crashed or not self.firmware.process_alive:
+            if self.simulator.has_crashed or not self._all_firmware_alive():
                 self._unsafe_found = True
                 if self._config.stop_on_unsafe:
                     self._abort = True
+            self._check_proximity()
+
+    def _all_firmware_alive(self) -> bool:
+        return all(unit.firmware.process_alive for unit in self._units)
+
+    def _check_proximity(self) -> None:
+        """Flag (and optionally abort on) new inter-vehicle conflicts."""
+        if len(self._units) == 1:
+            return
+        count = self.simulator.proximity_event_count
+        if count > self._proximity_seen:
+            self._proximity_seen = count
+            self._unsafe_found = True
+            if self._config.stop_on_unsafe:
+                self._abort = True
 
     def _record_sample(self) -> None:
         state = self.simulator.state
         sample = TraceSample.from_state(
-            index=len(self._trace), state=state, mode_label=self.firmware.operating_mode_label
+            index=len(self._traces[0]), state=state, mode_label=self.firmware.operating_mode_label
         )
-        self._trace.append(sample)
+        self._traces[0].append(sample)
         if self._monitor is not None:
             violation = self._monitor.check_sample(sample)
             if violation is not None:
                 self._unsafe_found = True
                 if self._config.stop_on_unsafe:
                     self._abort = True
+        for unit in self._units[1:]:
+            vehicle = unit.vehicle
+            self._traces[vehicle].append(
+                TraceSample.from_state(
+                    index=len(self._traces[vehicle]),
+                    state=self.simulator.state_of(vehicle),
+                    mode_label=unit.firmware.operating_mode_label,
+                    vehicle=vehicle,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Result assembly
@@ -274,23 +484,47 @@ class SimulationHarness:
         self, workload: Target, workload_result: Optional[WorkloadResult]
     ) -> RunResult:
         """Assemble the :class:`RunResult` once the workload has finished."""
-        return RunResult(
+        fleet = len(self._units)
+        injections = list(self._units[0].namespaced_injections())
+        failsafe_events = list(self.firmware.failsafe_events)
+        triggered_bugs = list(self.firmware.triggered_bug_ids)
+        for unit in self._units[1:]:
+            injections.extend(unit.namespaced_injections())
+            failsafe_events.extend(unit.firmware.failsafe_events)
+            for bug_id in unit.firmware.triggered_bug_ids:
+                if bug_id not in triggered_bugs:
+                    triggered_bugs.append(bug_id)
+        result = RunResult(
             scenario=self._scenario,
             firmware_name=self.firmware.name,
             workload_name=workload.display_name,
             workload_result=workload_result,
-            trace=list(self._trace),
+            trace=list(self._traces[0]),
             mode_transitions=self.hinj.transitions,
             collisions=self.simulator.collisions,
             fence_breaches=self.simulator.fence_breaches,
-            injections=self.scheduler.injections,
-            failsafe_events=self.firmware.failsafe_events,
-            triggered_bugs=self.firmware.triggered_bug_ids,
-            firmware_process_alive=self.firmware.process_alive,
+            injections=injections,
+            failsafe_events=failsafe_events,
+            triggered_bugs=triggered_bugs,
+            firmware_process_alive=self._all_firmware_alive(),
             duration_s=self.time,
             steps=self._steps,
             aborted_early=self._abort,
         )
+        if fleet > 1:
+            result.fleet_size = fleet
+            result.vehicle_traces = {
+                unit.vehicle: list(self._traces[unit.vehicle]) for unit in self._units
+            }
+            result.vehicle_mode_transitions = {
+                unit.vehicle: unit.hinj.transitions for unit in self._units
+            }
+            result.proximity_events = self.simulator.proximity_events
+            result.min_separation_m = self.simulator.min_separation_m
+            result.vehicle_firmware_alive = {
+                unit.vehicle: unit.firmware.process_alive for unit in self._units
+            }
+        return result
 
 
 class TestRunner:

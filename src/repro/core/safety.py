@@ -48,28 +48,47 @@ class SafetyMonitor:
         del sample  # per-sample safety state is owned by the simulator
         return None
 
+    @staticmethod
+    def _vehicle_label(result: RunResult, vehicle: int, time: float) -> str:
+        """The involved vehicle's mode label, namespaced off the lead.
+
+        Classic runs only ever involve vehicle 0, so the label is exactly
+        the lead's, as before; fleet events attribute the mode of the
+        vehicle that actually crashed (``v1:rtl``), not the lead's.
+        """
+        label = result.vehicle_mode_label_at(vehicle, time)
+        if vehicle:
+            label = f"v{vehicle}:{label}"
+        return label
+
     def evaluate(self, result: RunResult) -> List[SafetyViolation]:
         """Offline evaluation of a completed run."""
         violations: List[SafetyViolation] = []
         for collision in result.collisions:
             if collision.impact_speed < self._impact_speed_threshold:
                 continue
-            mode_label = result.mode_label_at(collision.time)
+            vehicle = getattr(collision, "vehicle", 0)
             violations.append(
                 SafetyViolation(
                     time=collision.time,
                     kind="collision",
                     description=collision.describe(),
-                    mode_label=mode_label,
+                    mode_label=self._vehicle_label(result, vehicle, collision.time),
                 )
             )
         if not result.firmware_process_alive:
+            dead = [
+                vehicle
+                for vehicle, alive in sorted(result.vehicle_firmware_alive.items())
+                if not alive
+            ]
+            vehicle = dead[0] if dead else 0
             violations.append(
                 SafetyViolation(
                     time=result.duration_s,
                     kind="software-crash",
                     description="firmware process is no longer running",
-                    mode_label=result.mode_label_at(result.duration_s),
+                    mode_label=self._vehicle_label(result, vehicle, result.duration_s),
                 )
             )
         return violations

@@ -116,13 +116,34 @@ class ExplorationSession:
         return self._profiling_run.transition_times
 
     @property
+    def fleet_size(self) -> int:
+        """Number of vehicles per simulation (from the run configuration)."""
+        config = getattr(self._runner, "config", None)
+        return getattr(config, "fleet_size", 1)
+
+    @property
     def sensor_ids(self) -> List[SensorId]:
-        """Every sensor instance available for fault injection."""
-        return self._suite.sensor_ids
+        """Every sensor instance available for fault injection.
+
+        For fleet campaigns the fault space is the suite replicated per
+        vehicle: each physical instance appears once per fleet member,
+        namespaced by vehicle index.  Fleet size 1 returns the suite's
+        own (vehicle 0) ids, exactly as before, so classic campaigns and
+        their scenario hashes are untouched.
+        """
+        base_ids = self._suite.sensor_ids
+        fleet_size = self.fleet_size
+        if fleet_size == 1:
+            return base_ids
+        return [
+            sensor_id.for_vehicle(vehicle)
+            for vehicle in range(fleet_size)
+            for sensor_id in base_ids
+        ]
 
     def sensor_role(self, sensor_id: SensorId) -> SensorRole:
-        """Role (primary/backup) of a sensor instance."""
-        return self._suite.role_of(sensor_id)
+        """Role (primary/backup) of a sensor instance (any fleet member)."""
+        return self._suite.role_of(sensor_id.base)
 
     def mode_label_at(self, time: float) -> str:
         """Operating-mode label at ``time`` in the profiling run."""
@@ -172,12 +193,14 @@ class ExplorationSession:
         if self._cache is not None:
             from repro.engine.cache import (
                 adapt_cached_result,
+                campaign_fingerprint,
                 scenario_key,
-                workload_fingerprint,
             )
 
             if self._workload_fp is None:
-                self._workload_fp = workload_fingerprint(self._runner.config)
+                self._workload_fp = campaign_fingerprint(
+                    self._runner.config, getattr(self._runner, "monitor", None)
+                )
             key = scenario_key(self._runner.config, self._workload_fp, scenario)
             stored = self._cache.get(key)
             if stored is not None:

@@ -23,6 +23,7 @@ from repro.engine.backends import ExecutionBackend, ProcessPoolBackend, SerialBa
 from repro.engine.cache import (
     ResultCache,
     adapt_cached_result,
+    bug_registry_stamp,
     config_fingerprint,
     scenario_key,
     workload_fingerprint,
@@ -40,12 +41,15 @@ __all__ = [
     "ResultCache",
     "SerialBackend",
     "adapt_cached_result",
+    "bug_registry_stamp",
     "config_fingerprint",
+    "load_completed_cells",
     "scenario_key",
+    "summarize_campaign",
     "workload_fingerprint",
 ]
 
-_LAZY = {"CampaignGrid", "GridCell", "GridOutcome"}
+_LAZY = {"CampaignGrid", "GridCell", "GridOutcome", "load_completed_cells", "summarize_campaign"}
 
 
 def __getattr__(name: str):

@@ -24,7 +24,7 @@ import hashlib
 import os
 import pickle
 import tempfile
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.config import RunConfiguration
 from repro.core.runner import RunResult
@@ -51,6 +51,15 @@ def config_fingerprint(config: RunConfiguration, workload_name: str) -> str:
         f"disabled={sorted(config.disabled_bugs)!r}",
         f"stop_on_unsafe={config.stop_on_unsafe!r}",
     ]
+    fleet_size = getattr(config, "fleet_size", 1)
+    if fleet_size != 1:
+        # Only fleet runs render fleet terms: classic (fleet size 1)
+        # fingerprints -- and therefore cache keys -- keep the exact
+        # pre-fleet key format.  (Pre-upgrade cache *directories* are
+        # still purged once by the version-stamp check, which cannot
+        # attribute unstamped entries to a bug registry.)
+        parts.append(f"fleet_size={fleet_size!r}")
+        parts.append(f"fleet_pad_spacing_m={config.fleet_pad_spacing_m!r}")
     return "|".join(parts)
 
 
@@ -93,6 +102,24 @@ def workload_fingerprint(config: RunConfiguration) -> str:
     return f"{workload.display_name}{params!r}"
 
 
+def campaign_fingerprint(config: RunConfiguration, monitor=None) -> str:
+    """The workload term of a cache key, including monitor calibration.
+
+    For fleet campaigns the recorded proximity events depend on the
+    monitor's calibrated separation threshold (the simulator filters
+    conflicts below it at run time), so results simulated under
+    different calibrations -- e.g. grid cells with different
+    ``profiling_runs`` -- must not share cache entries.  Classic
+    campaigns have no threshold and keep the plain workload fingerprint,
+    i.e. the exact pre-fleet key format.
+    """
+    fingerprint = workload_fingerprint(config)
+    threshold = getattr(monitor, "separation_threshold_m", None)
+    if threshold is not None:
+        fingerprint += f"|separation_threshold={threshold!r}"
+    return fingerprint
+
+
 def scenario_fingerprint(scenario: FaultScenario) -> str:
     """A canonical string for a fault scenario (sorted fault tuples)."""
     return ";".join(
@@ -108,6 +135,28 @@ def scenario_key(
         scenario
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def bug_registry_stamp() -> str:
+    """A version stamp over the shipped firmware bug registries.
+
+    Cached results embed the behaviour of the firmware's bug set: adding,
+    removing or editing a bug descriptor changes what a simulation would
+    record, so a directory cache written under a different registry is
+    stale.  The stamp is a SHA-256 over the canonical rendering of every
+    descriptor in both shipped flavours -- any registry edit changes it,
+    and :class:`ResultCache` then invalidates the directory's entries.
+    """
+    from repro.firmware.bugs import ardupilot_bug_registry, px4_bug_registry
+
+    parts = []
+    for flavour, registry in (
+        ("ardupilot", ardupilot_bug_registry()),
+        ("px4", px4_bug_registry()),
+    ):
+        for descriptor in registry.descriptors:
+            parts.append(f"{flavour}:{descriptor!r}")
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
 
 def adapt_cached_result(result: RunResult, monitor=None) -> RunResult:
@@ -135,15 +184,174 @@ class ResultCache:
         When given, every stored result is also pickled to
         ``<directory>/<key>.pkl`` and lookups fall back to disk, so the
         cache survives across processes and across campaign-grid runs.
+    max_entries:
+        Cross-run GC: cap on the number of ``.pkl`` entries kept in the
+        directory.  When a put pushes the directory over the cap, the
+        least recently used entries (by file modification time, which
+        :meth:`get` refreshes on disk hits) are deleted.  ``None`` (the
+        default) keeps the directory unbounded, as before.
+    max_bytes:
+        Cross-run GC: cap on the total size of the directory's ``.pkl``
+        entries, enforced the same way.
+
+    A directory cache is stamped with the firmware bug registry version
+    (see :func:`bug_registry_stamp`): opening a directory written under
+    a different registry discards its entries, so stale results
+    self-invalidate when the bug set changes.
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    #: Name of the version-stamp file kept next to the ``.pkl`` entries.
+    VERSION_FILENAME = "CACHE_VERSION"
+
+    #: Puts between directory rescans of the GC totals (bounds how far
+    #: concurrent writers sharing one directory can exceed the caps).
+    RESCAN_INTERVAL = 64
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
         self._memory: Dict[str, RunResult] = {}
         self._directory = directory
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._gc_enabled = max_entries is not None or max_bytes is not None
+        # Running totals of the directory's .pkl entries, maintained so a
+        # put only rescans the directory when a cap is actually crossed.
+        # The totals are per-process, so concurrent grid shards sharing a
+        # directory could drift past the caps unnoticed; a periodic
+        # rescan (every RESCAN_INTERVAL puts) bounds that overshoot.
+        self._entry_count = 0
+        self._entry_bytes = 0
+        self._puts_since_rescan = 0
+        self.evictions = 0
+        self.invalidated = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
+            self._check_version_stamp()
+            if self._gc_enabled:
+                self._rescan_totals()
+                self._enforce_limits()
         self.hits = 0
         self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Version stamping
+    # ------------------------------------------------------------------
+    def _version_path(self) -> str:
+        assert self._directory is not None
+        return os.path.join(self._directory, self.VERSION_FILENAME)
+
+    def _check_version_stamp(self) -> None:
+        """Discard on-disk entries written under a different bug registry.
+
+        A directory holding entries but no stamp at all is also purged:
+        without a stamp there is no way to tell which registry produced
+        those results, and serving potentially-stale hits silently is
+        worse than re-simulating once.
+        """
+        stamp = bug_registry_stamp()
+        path = self._version_path()
+        stored = None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                stored = handle.read().strip()
+        except OSError:
+            stored = None
+        if stored != stamp:
+            self.invalidated += self._purge_entries()
+            try:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(stamp + "\n")
+            except OSError:
+                pass
+
+    def _purge_entries(self) -> int:
+        """Delete every ``.pkl`` entry in the directory; returns the count."""
+        purged = 0
+        for name in self._entry_names():
+            try:
+                os.unlink(os.path.join(self._directory, name))
+                purged += 1
+            except OSError:
+                pass
+        return purged
+
+    def _entry_names(self) -> List[str]:
+        assert self._directory is not None
+        try:
+            return [
+                name for name in os.listdir(self._directory) if name.endswith(".pkl")
+            ]
+        except OSError:
+            return []
+
+    # ------------------------------------------------------------------
+    # Cross-run GC
+    # ------------------------------------------------------------------
+    def _rescan_totals(self) -> None:
+        """Re-seed the running entry/byte totals from the directory."""
+        count = 0
+        total = 0
+        for name in self._entry_names():
+            try:
+                total += os.stat(os.path.join(self._directory, name)).st_size
+            except OSError:
+                continue
+            count += 1
+        self._entry_count = count
+        self._entry_bytes = total
+
+    def _over_limits(self) -> bool:
+        if self._max_entries is not None and self._entry_count > self._max_entries:
+            return True
+        return self._max_bytes is not None and self._entry_bytes > self._max_bytes
+
+    def _enforce_limits(self) -> None:
+        """Evict least-recently-used disk entries beyond the limits.
+
+        The full directory is only walked when the running totals say a
+        cap has actually been crossed, so an in-budget put stays O(1).
+        """
+        if self._directory is None or not self._gc_enabled:
+            return
+        if not self._over_limits():
+            return
+        entries = []
+        total_bytes = 0
+        for name in self._entry_names():
+            path = os.path.join(self._directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, name, stat.st_size))
+            total_bytes += stat.st_size
+        entries.sort()  # oldest first
+        over_entries = (
+            len(entries) - self._max_entries if self._max_entries is not None else 0
+        )
+        while entries and (
+            over_entries > 0
+            or (self._max_bytes is not None and total_bytes > self._max_bytes)
+        ):
+            _, name, size = entries.pop(0)
+            try:
+                os.unlink(os.path.join(self._directory, name))
+            except OSError:
+                continue
+            self.evictions += 1
+            total_bytes -= size
+            over_entries -= 1
+            self._memory.pop(name[: -len(".pkl")], None)
+        self._entry_count = len(entries)
+        self._entry_bytes = total_bytes
 
     # ------------------------------------------------------------------
     # Key construction
@@ -181,6 +389,13 @@ class ResultCache:
         if result is None:
             self.misses += 1
             return None
+        if self._directory is not None and self._gc_enabled:
+            try:
+                # Refresh the entry's mtime (memory hits included) so the
+                # cross-run GC evicts least-recently-used entries first.
+                os.utime(self._path(key))
+            except OSError:
+                pass
         self.hits += 1
         return result
 
@@ -188,20 +403,49 @@ class ResultCache:
         """Store ``result`` under ``key`` (last write wins)."""
         self._memory[key] = result
         if self._directory is not None:
+            path = self._path(key)
+            old_size = None
+            if self._gc_enabled:
+                try:
+                    old_size = os.stat(path).st_size
+                except OSError:
+                    old_size = None
             # Write-then-rename so concurrent grid shards never observe a
             # partially written pickle.
             fd, tmp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(result, handle)
-                os.replace(tmp_path, self._path(key))
+                os.replace(tmp_path, path)
             except OSError:
                 try:
                     os.unlink(tmp_path)
                 except OSError:
                     pass
+            else:
+                if self._gc_enabled:
+                    try:
+                        new_size = os.stat(path).st_size
+                    except OSError:
+                        new_size = 0
+                    if old_size is None:
+                        self._entry_count += 1
+                        self._entry_bytes += new_size
+                    else:
+                        self._entry_bytes += new_size - old_size
+                    self._puts_since_rescan += 1
+                    if self._puts_since_rescan >= self.RESCAN_INTERVAL:
+                        self._puts_since_rescan = 0
+                        self._rescan_totals()
+                    self._enforce_limits()
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters plus the in-memory entry count."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._memory)}
+        """Hit/miss/GC counters plus the in-memory entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memory),
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+        }

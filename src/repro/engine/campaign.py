@@ -28,8 +28,8 @@ from repro.engine.backends import ExecutionBackend, SerialBackend
 from repro.engine.cache import (
     ResultCache,
     adapt_cached_result,
+    campaign_fingerprint,
     scenario_key,
-    workload_fingerprint,
 )
 
 #: Scenarios requested per proposal round.  Large enough to keep a
@@ -75,7 +75,7 @@ class CampaignEngine:
         config = session.runner.config
         monitor = session.runner.monitor
         workload_name = (
-            workload_fingerprint(config) if self._cache is not None else ""
+            campaign_fingerprint(config, monitor) if self._cache is not None else ""
         )
 
         while True:

@@ -34,7 +34,12 @@ from repro.core.strategies import (
     RandomInjection,
     StratifiedBFI,
 )
-from repro.engine.grid import CampaignGrid, GridCell
+from repro.engine.grid import (
+    CampaignGrid,
+    GridCell,
+    filter_completed,
+    load_completed_cells,
+)
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.firmware.px4 import Px4Firmware
 from repro.workloads.builtin import (
@@ -42,8 +47,30 @@ from repro.workloads.builtin import (
     PositionHoldBoxWorkload,
     WaypointFenceWorkload,
 )
+from repro.workloads.fleet import (
+    ConvoyFollowWorkload,
+    CrossingPathsWorkload,
+    MultiPadTakeoffLandWorkload,
+)
 
 FIRMWARES = {"ardupilot": ArduPilotFirmware, "px4": Px4Firmware}
+
+#: Workloads that need a fleet, mapped to the minimum fleet size each
+#: implies (taken from the workload classes so the CLI cannot drift).
+FLEET_WORKLOADS = {
+    "convoy": ConvoyFollowWorkload.fleet_size,
+    "crossing": CrossingPathsWorkload.fleet_size,
+    # Multi-pad scales to whatever --fleet-size asks for; two vehicles is
+    # the smallest fleet its constructor accepts.
+    "multi-pad": 2,
+}
+
+#: Fleet workloads whose choreography flies a fixed number of vehicles;
+#: any other --fleet-size would provision vehicles that never fly.
+FIXED_FLEET_WORKLOADS = {
+    "convoy": ConvoyFollowWorkload.fleet_size,
+    "crossing": CrossingPathsWorkload.fleet_size,
+}
 
 STRATEGIES: Dict[str, Callable[[], object]] = {
     "avis": AvisStrategy,
@@ -55,13 +82,19 @@ STRATEGIES: Dict[str, Callable[[], object]] = {
 }
 
 
-def _workload_factory(name: str, altitude: float, box_side: float):
+def _workload_factory(name: str, altitude: float, box_side: float, fleet_size: int):
     if name == "auto":
         return lambda: AutoWorkload(altitude=altitude)
     if name == "waypoint":
         return lambda: WaypointFenceWorkload(altitude=altitude, box_side=box_side)
     if name == "poshold":
         return lambda: PositionHoldBoxWorkload(altitude=altitude, box_side=box_side)
+    if name == "convoy":
+        return lambda: ConvoyFollowWorkload()
+    if name == "crossing":
+        return lambda: CrossingPathsWorkload()
+    if name == "multi-pad":
+        return lambda: MultiPadTakeoffLandWorkload(fleet_size=max(fleet_size, 2))
     raise ValueError(f"unknown workload '{name}'")
 
 
@@ -76,8 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="firmware flavours to check",
     )
     parser.add_argument(
-        "--workload", nargs="+", choices=["auto", "waypoint", "poshold"],
-        default=["waypoint"], help="workloads to fly",
+        "--workload", nargs="+",
+        choices=["auto", "waypoint", "poshold", "convoy", "crossing", "multi-pad"],
+        default=["waypoint"],
+        help="workloads to fly (convoy/crossing/multi-pad need --fleet-size >= 2)",
+    )
+    parser.add_argument(
+        "--fleet-size", type=int, default=1,
+        help="vehicles per fleet-workload simulation (convoy/crossing/"
+        "multi-pad; classic workloads in the same grid always fly solo)",
     )
     parser.add_argument(
         "--strategy", nargs="+", choices=sorted(STRATEGIES),
@@ -100,26 +140,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON summary here instead of stdout",
     )
     parser.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="append one JSON line per finished campaign to this file "
+        "(a killed grid can later resume from it)",
+    )
+    parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="skip campaigns already recorded in this stream file and "
+        "keep appending new ones to it",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-campaign progress lines"
     )
     return parser
 
 
 def build_cells(args: argparse.Namespace) -> List[GridCell]:
+    if args.fleet_size != 1 and not any(
+        workload in FLEET_WORKLOADS for workload in args.workload
+    ):
+        raise ValueError(
+            "--fleet-size applies only to fleet workloads "
+            f"({', '.join(sorted(FLEET_WORKLOADS))}); none requested"
+        )
     cells: List[GridCell] = []
     for firmware_name in args.firmware:
         for workload_name in args.workload:
+            required_fleet = FLEET_WORKLOADS.get(workload_name, 1)
+            if required_fleet > 1 and args.fleet_size < required_fleet:
+                raise ValueError(
+                    f"workload '{workload_name}' needs --fleet-size >= {required_fleet}"
+                )
+            if workload_name in FIXED_FLEET_WORKLOADS and (
+                args.fleet_size != FIXED_FLEET_WORKLOADS[workload_name]
+            ):
+                # Extra vehicles would be provisioned and integrated every
+                # step but never flown -- reject rather than burn budget
+                # on a campaign whose cell id would overstate the fleet.
+                raise ValueError(
+                    f"workload '{workload_name}' flies exactly "
+                    f"{FIXED_FLEET_WORKLOADS[workload_name]} vehicles; "
+                    f"run it with --fleet-size {FIXED_FLEET_WORKLOADS[workload_name]}"
+                )
+            # Classic workloads in a mixed grid always fly solo; only the
+            # fleet workloads consume --fleet-size.
             config = RunConfiguration(
                 firmware_class=FIRMWARES[firmware_name],
                 workload_factory=_workload_factory(
-                    workload_name, args.altitude, args.box_side
+                    workload_name, args.altitude, args.box_side, args.fleet_size
                 ),
+                fleet_size=args.fleet_size if required_fleet > 1 else 1,
             )
+            workload_id = workload_name
+            if required_fleet > 1:
+                workload_id = f"{workload_name}@fleet{args.fleet_size}"
             for strategy_name in args.strategy:
                 for budget in args.budget:
                     cells.append(
                         GridCell(
-                            cell_id=f"{firmware_name}/{workload_name}/"
+                            cell_id=f"{firmware_name}/{workload_id}/"
                             f"{strategy_name}/{budget:g}",
                             config=config,
                             strategy_factory=STRATEGIES[strategy_name],
@@ -133,20 +212,39 @@ def build_cells(args: argparse.Namespace) -> List[GridCell]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.json:
-        # Fail fast: campaigns can run for minutes; an unwritable output
-        # path must not surface only after the grid has finished.
-        directory = os.path.dirname(os.path.abspath(args.json))
+    # Fail fast on every output path: campaigns can run for minutes; an
+    # unwritable path must not surface only after the grid has finished.
+    for flag, value in (("--json", args.json), ("--stream", args.stream),
+                        ("--resume", args.resume)):
+        if not value:
+            continue
+        directory = os.path.dirname(os.path.abspath(value))
         if not os.path.isdir(directory):
-            parser.error(f"--json: directory does not exist: {directory}")
+            parser.error(f"{flag}: directory does not exist: {directory}")
         if not os.access(directory, os.W_OK):
-            parser.error(f"--json: directory is not writable: {directory}")
-    cells = build_cells(args)
+            parser.error(f"{flag}: directory is not writable: {directory}")
+    stream_path = args.stream
+    completed = {}
+    if args.resume:
+        stream_path = stream_path or args.resume
+        try:
+            completed = load_completed_cells(args.resume)
+        except OSError as error:
+            parser.error(f"--resume: cannot read {args.resume}: {error}")
+    try:
+        cells = build_cells(args)
+    except ValueError as error:
+        parser.error(str(error))
     grid = CampaignGrid(cells, max_workers=args.workers)
+    fingerprints = grid.fingerprints()
+    completed = filter_completed(cells, completed, fingerprints)
+    pending = [cell for cell in cells if cell.cell_id not in completed]
     if not args.quiet:
+        skipped = len(cells) - len(pending)
+        resumed = f" ({skipped} resumed from {args.resume})" if skipped else ""
         print(
-            f"campaign grid: {len(cells)} campaigns across "
-            f"{min(grid.max_workers, len(cells))} worker(s)",
+            f"campaign grid: {len(pending)} campaigns across "
+            f"{min(grid.max_workers, len(pending)) or 1} worker(s){resumed}",
             file=sys.stderr,
         )
 
@@ -154,7 +252,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not args.quiet:
             print(f"  done {cell_id}: {campaign.summary().strip()}", file=sys.stderr)
 
-    outcome = grid.run(on_progress=progress)
+    outcome = grid.run(
+        on_progress=progress,
+        stream_path=stream_path,
+        completed=completed,
+        fingerprints=fingerprints,
+    )
     summary = json.dumps(outcome.summary(), indent=2, sort_keys=True)
     if args.json:
         try:

@@ -13,10 +13,19 @@ Inside a grid worker every campaign uses the :class:`SerialBackend`
 ``multiprocessing`` daemonic processes, and cell-level sharding already
 saturates the machine).  Because each cell is deterministic, a sharded
 grid produces exactly the results of the equivalent sequential loop.
+
+Long grids can stream every finished cell to a JSONL file
+(``run(stream_path=...)``); a killed run then resumes by loading the
+stream with :func:`load_completed_cells` and passing the mapping back as
+``run(completed=...)`` -- already-finished cells are skipped and their
+streamed summaries are merged into the final grid summary.  The CLI
+exposes this as ``--stream`` / ``--resume``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
 import os
 import time
@@ -26,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.avis import Avis, CampaignResult
 from repro.core.config import RunConfiguration
 from repro.engine.backends import SerialBackend, _fork_available
+from repro.engine.cache import config_fingerprint, workload_fingerprint
 
 
 @dataclass
@@ -44,6 +54,100 @@ class GridCell:
     profiling_runs: int = 2
     simulation_cost: float = 1.0
     labelling_cost: float = 0.15
+
+
+def cell_fingerprint(cell: GridCell) -> str:
+    """A short content hash of everything that shapes a cell's outcome.
+
+    Streamed alongside each finished cell so a ``--resume`` only skips a
+    cell when the stored result really came from the same configuration
+    -- the cell id alone omits parameters like the workload geometry.
+    """
+    payload = "|".join(
+        [
+            config_fingerprint(cell.config, workload_fingerprint(cell.config)),
+            f"budget={cell.budget_units!r}",
+            f"profiling={cell.profiling_runs!r}",
+            f"costs={cell.simulation_cost!r}/{cell.labelling_cost!r}",
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def summarize_campaign(
+    cell_id: str,
+    campaign: CampaignResult,
+    wall_seconds: Optional[float] = None,
+    fleet_size: int = 1,
+    fingerprint: Optional[str] = None,
+) -> dict:
+    """The JSON-serialisable summary of one finished grid cell."""
+    return {
+        "cell": cell_id,
+        "fingerprint": fingerprint,
+        "firmware": campaign.firmware_name,
+        "workload": campaign.workload_name,
+        "strategy": campaign.strategy_name,
+        "fleet_size": fleet_size,
+        "simulations": campaign.simulations,
+        "labels": campaign.labels,
+        "budget_spent": campaign.budget_spent,
+        "unsafe_scenarios": campaign.unsafe_scenario_count,
+        "unsafe_conditions": campaign.unsafe_condition_count,
+        "triggered_bugs": sorted(campaign.triggered_bug_ids),
+        "per_mode": campaign.per_mode_counts,
+        "efficiency": campaign.efficiency,
+        "wall_seconds": wall_seconds,
+    }
+
+
+def filter_completed(
+    cells: Sequence[GridCell],
+    completed: Dict[str, dict],
+    fingerprints: Optional[Dict[str, str]] = None,
+) -> Dict[str, dict]:
+    """The subset of ``completed`` records trustworthy for ``cells``.
+
+    Only a record whose fingerprint matches the cell's current
+    configuration may be reused: ids omit parameters (altitude, box
+    side...), so a mismatched or missing fingerprint means the cell must
+    rerun.  This is the single place the resume decision is made -- the
+    grid and the CLI both call it.  Pass ``fingerprints`` (cell id ->
+    :func:`cell_fingerprint`) to reuse fingerprints already computed.
+    """
+    if fingerprints is None:
+        fingerprints = {cell.cell_id: cell_fingerprint(cell) for cell in cells}
+    return {
+        cell_id: record
+        for cell_id, record in completed.items()
+        if cell_id in fingerprints
+        and record.get("fingerprint") == fingerprints[cell_id]
+    }
+
+
+def load_completed_cells(path: str) -> Dict[str, dict]:
+    """Load the per-cell summaries streamed by a previous grid run.
+
+    Lines that fail to parse (for example a partial line written as the
+    process died) are skipped; the corresponding cell simply reruns.
+    Returns a mapping from cell id to its streamed summary.
+    """
+    completed: Dict[str, dict] = {}
+    if not os.path.exists(path):
+        return completed
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            cell_id = record.get("cell") if isinstance(record, dict) else None
+            if cell_id:
+                completed[cell_id] = record
+    return completed
 
 
 #: Cells inherited by forked grid workers (set before the pool forks).
@@ -70,40 +174,31 @@ def _run_cell(index: int) -> Tuple[int, CampaignResult, float]:
 
 @dataclass
 class GridOutcome:
-    """Everything a grid run produced, ready for JSON summarising."""
+    """Everything a grid run produced, ready for JSON summarising.
+
+    ``results`` holds the campaigns executed by *this* run;
+    ``cell_summaries`` covers every cell of the matrix in matrix order,
+    including cells resumed from a previous run's stream file (for which
+    only the summary survives).
+    """
 
     results: Dict[str, CampaignResult]
     wall_seconds: float
     cell_seconds: Dict[str, float]
     workers: int
+    cell_summaries: Dict[str, dict] = field(default_factory=dict)
+    resumed_cells: int = 0
 
     def summary(self) -> dict:
         """A JSON-serialisable summary of the whole grid run."""
-        campaigns = []
-        for cell_id, campaign in self.results.items():
-            campaigns.append(
-                {
-                    "cell": cell_id,
-                    "firmware": campaign.firmware_name,
-                    "workload": campaign.workload_name,
-                    "strategy": campaign.strategy_name,
-                    "simulations": campaign.simulations,
-                    "labels": campaign.labels,
-                    "budget_spent": campaign.budget_spent,
-                    "unsafe_scenarios": campaign.unsafe_scenario_count,
-                    "unsafe_conditions": campaign.unsafe_condition_count,
-                    "triggered_bugs": sorted(campaign.triggered_bug_ids),
-                    "per_mode": campaign.per_mode_counts,
-                    "efficiency": campaign.efficiency,
-                    "wall_seconds": self.cell_seconds.get(cell_id),
-                }
-            )
+        campaigns = list(self.cell_summaries.values())
         return {
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "campaigns": campaigns,
             "totals": {
                 "campaigns": len(campaigns),
+                "resumed": self.resumed_cells,
                 "simulations": sum(c["simulations"] for c in campaigns),
                 "unsafe_scenarios": sum(c["unsafe_scenarios"] for c in campaigns),
             },
@@ -134,49 +229,91 @@ class CampaignGrid:
         """The configured shard count."""
         return self._max_workers
 
+    def fingerprints(self) -> Dict[str, str]:
+        """:func:`cell_fingerprint` of every cell, keyed by cell id."""
+        return {cell.cell_id: cell_fingerprint(cell) for cell in self._cells}
+
     def run(
         self,
         on_progress: Optional[Callable[[str, CampaignResult], None]] = None,
+        stream_path: Optional[str] = None,
+        completed: Optional[Dict[str, dict]] = None,
+        fingerprints: Optional[Dict[str, str]] = None,
     ) -> GridOutcome:
         """Execute every cell; ``on_progress`` fires as campaigns finish.
 
         Results are keyed by cell id, so completion order (which the
-        pool does not guarantee) never affects the outcome.
+        pool does not guarantee) never affects the outcome.  When
+        ``stream_path`` is given, each finished cell's summary is
+        appended to it as one JSON line; cells whose ids appear in
+        ``completed`` (a mapping loaded by :func:`load_completed_cells`)
+        are skipped and their streamed summaries reused.  Pass
+        ``fingerprints`` (from :meth:`fingerprints`) when the caller has
+        already computed them, e.g. to display the resumed count before
+        running.
         """
         started = time.perf_counter()
+        if fingerprints is None:
+            fingerprints = self.fingerprints()
+        completed = filter_completed(self._cells, completed or {}, fingerprints)
         results: Dict[str, CampaignResult] = {}
         cell_seconds: Dict[str, float] = {}
-        workers = min(self._max_workers, len(self._cells)) or 1
+        summaries: Dict[str, dict] = {}
+        pending = [
+            index
+            for index, cell in enumerate(self._cells)
+            if cell.cell_id not in completed
+        ]
+        workers = min(self._max_workers, len(pending)) or 1
 
-        if workers <= 1 or not _fork_available():
-            workers = 1
-            for index in range(len(self._cells)):
-                self._collect(_run_cell_local(self._cells, index), results,
-                              cell_seconds, on_progress)
-        else:
-            global _GRID_CELLS
-            _GRID_CELLS = self._cells
-            context = multiprocessing.get_context("fork")
-            try:
-                with context.Pool(processes=workers) as pool:
-                    for outcome in pool.imap_unordered(
-                        _run_cell, range(len(self._cells))
-                    ):
-                        self._collect(outcome, results, cell_seconds, on_progress)
-            finally:
-                _GRID_CELLS = None
+        stream = None
+        if stream_path is not None:
+            stream = open(stream_path, "a", encoding="utf-8")
+        try:
+            collect = lambda outcome: self._collect(  # noqa: E731
+                outcome, results, cell_seconds, summaries, stream, on_progress,
+                fingerprints,
+            )
+            if workers <= 1 or not _fork_available():
+                workers = 1
+                for index in pending:
+                    collect(_run_cell_local(self._cells, index))
+            else:
+                global _GRID_CELLS
+                _GRID_CELLS = self._cells
+                context = multiprocessing.get_context("fork")
+                try:
+                    with context.Pool(processes=workers) as pool:
+                        for outcome in pool.imap_unordered(_run_cell, pending):
+                            collect(outcome)
+                finally:
+                    _GRID_CELLS = None
+        finally:
+            if stream is not None:
+                stream.close()
 
-        # Re-key into matrix order for stable summaries.
+        # Re-key into matrix order for stable summaries, merging the
+        # summaries of resumed cells in their matrix position.
         ordered = {
             cell.cell_id: results[cell.cell_id]
             for cell in self._cells
             if cell.cell_id in results
         }
+        ordered_summaries: Dict[str, dict] = {}
+        resumed = 0
+        for cell in self._cells:
+            if cell.cell_id in summaries:
+                ordered_summaries[cell.cell_id] = summaries[cell.cell_id]
+            elif cell.cell_id in completed:
+                ordered_summaries[cell.cell_id] = completed[cell.cell_id]
+                resumed += 1
         return GridOutcome(
             results=ordered,
             wall_seconds=time.perf_counter() - started,
             cell_seconds=cell_seconds,
             workers=workers,
+            cell_summaries=ordered_summaries,
+            resumed_cells=resumed,
         )
 
     def _collect(
@@ -184,12 +321,26 @@ class CampaignGrid:
         outcome: Tuple[int, CampaignResult, float],
         results: Dict[str, CampaignResult],
         cell_seconds: Dict[str, float],
+        summaries: Dict[str, dict],
+        stream,
         on_progress: Optional[Callable[[str, CampaignResult], None]],
+        fingerprints: Dict[str, str],
     ) -> None:
         index, campaign, seconds = outcome
-        cell_id = self._cells[index].cell_id
+        cell = self._cells[index]
+        cell_id = cell.cell_id
         results[cell_id] = campaign
         cell_seconds[cell_id] = seconds
+        summaries[cell_id] = summarize_campaign(
+            cell_id,
+            campaign,
+            wall_seconds=seconds,
+            fleet_size=getattr(cell.config, "fleet_size", 1),
+            fingerprint=fingerprints[cell_id],
+        )
+        if stream is not None:
+            stream.write(json.dumps(summaries[cell_id], sort_keys=True) + "\n")
+            stream.flush()
         if on_progress is not None:
             on_progress(cell_id, campaign)
 

@@ -86,6 +86,7 @@ class ControlFirmware:
         hinj: Optional[HinjInterface] = None,
         bug_registry: Optional[BugRegistry] = None,
         dt: float = 0.02,
+        initial_hold_point: Tuple[float, float] = (0.0, 0.0),
     ) -> None:
         self.suite = suite
         self.airframe = airframe
@@ -113,7 +114,10 @@ class ControlFirmware:
         self._label_history: List[Tuple[float, str]] = [(0.0, self._operating_label)]
         self._post_takeoff_mode = FlightMode.GUIDED
         self._takeoff_target_altitude: Optional[float] = None
-        self._hold_point: Tuple[float, float] = (0.0, 0.0)
+        # Fleet members launch from offset pads; the hold point must start
+        # at the pad or a guided takeoff would drag the vehicle toward the
+        # shared home.  The default is the classic single-vehicle origin.
+        self._hold_point: Tuple[float, float] = tuple(initial_hold_point)
         self._hold_altitude: float = 0.0
         self._guided_target: Optional[Tuple[float, float, float]] = None
         self._rtl_phase = "climb"

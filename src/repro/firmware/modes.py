@@ -98,8 +98,18 @@ class OperatingModeLabel:
         / Land.  Manual covers the position-hold style modes exercised by
         the first default workload; RTL legs count toward Land since the
         unsafe conditions there manifest during the descent.
+
+        Fleet-namespaced labels (``v1:rtl``) are categorised by their
+        base label.  A label outside the known vocabulary maps to
+        ``"other"`` rather than being silently folded into one of the
+        four paper categories, so per-mode counts stay honest when new
+        workload families introduce new labels.
         """
-        if label == OperatingModeLabel.TAKEOFF:
+        if ":" in label:
+            prefix, _, rest = label.partition(":")
+            if prefix.startswith("v") and prefix[1:].isdigit() and rest:
+                label = rest
+        if label in (OperatingModeLabel.TAKEOFF, OperatingModeLabel.PREFLIGHT):
             return "takeoff"
         if OperatingModeLabel.is_waypoint(label) or label == OperatingModeLabel.GUIDED:
             return "waypoint"
@@ -107,7 +117,7 @@ class OperatingModeLabel:
             return "land"
         if label in (OperatingModeLabel.LOITER, OperatingModeLabel.POSHOLD):
             return "manual"
-        return "manual" if label != OperatingModeLabel.PREFLIGHT else "takeoff"
+        return "other"
 
 
 #: Mapping from the MAVLink ``SET_MODE`` strings each firmware flavour

@@ -36,6 +36,7 @@ class Px4Firmware(ControlFirmware):
         hinj: Optional[HinjInterface] = None,
         bug_registry: Optional[BugRegistry] = None,
         dt: float = 0.02,
+        initial_hold_point=(0.0, 0.0),
     ) -> None:
         super().__init__(
             suite=suite if suite is not None else iris_sensor_suite(),
@@ -46,6 +47,7 @@ class Px4Firmware(ControlFirmware):
             hinj=hinj,
             bug_registry=bug_registry if bug_registry is not None else px4_bug_registry(),
             dt=dt,
+            initial_hold_point=initial_hold_point,
         )
 
 

@@ -41,6 +41,17 @@ class FaultSpec:
         """True when the failure should be in effect at ``time``."""
         return time >= self.start_time
 
+    @property
+    def vehicle(self) -> int:
+        """The fleet member this fault targets (0 for classic runs)."""
+        return self.sensor_id.vehicle
+
+    def for_vehicle(self, vehicle: int) -> "FaultSpec":
+        """This fault re-namespaced onto ``vehicle`` (self when unchanged)."""
+        if vehicle == self.sensor_id.vehicle:
+            return self
+        return FaultSpec(self.sensor_id.for_vehicle(vehicle), self.start_time)
+
     def describe(self) -> str:
         """Short human readable description used in reports."""
         return f"{self.sensor_id.label} fails at t={self.start_time:.2f}s"
@@ -123,6 +134,31 @@ class FaultScenario:
         """True when ``sensor_id`` should report failure at ``time``."""
         fault = self.fault_for(sensor_id)
         return fault is not None and fault.active_at(time)
+
+    # ------------------------------------------------------------------
+    # Fleet namespacing
+    # ------------------------------------------------------------------
+    @property
+    def vehicles(self) -> List[int]:
+        """The fleet members targeted by at least one fault, sorted."""
+        return sorted({fault.vehicle for fault in self._faults})
+
+    def for_vehicle(self, vehicle: int) -> "FaultScenario":
+        """Every fault re-namespaced onto ``vehicle``."""
+        return FaultScenario(fault.for_vehicle(vehicle) for fault in self._faults)
+
+    def vehicle_view(self, vehicle: int) -> "FaultScenario":
+        """The faults targeting ``vehicle``, projected to suite-local ids.
+
+        A fleet harness hands each vehicle's fault scheduler this view:
+        the per-vehicle sensor suite identifies its drivers by vehicle-0
+        ids, so the projection strips the namespace.  For vehicle 0 of a
+        classic (fleet size 1) run the view is the scenario itself.
+        """
+        mine = [fault for fault in self._faults if fault.vehicle == vehicle]
+        if vehicle == 0 and len(mine) == len(self._faults):
+            return self
+        return FaultScenario(fault.for_vehicle(0) for fault in mine)
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -54,24 +54,49 @@ class SensorId:
 
     ``SensorId(SensorType.COMPASS, 0)`` is the primary compass,
     ``SensorId(SensorType.COMPASS, 1)`` the first backup, and so on.
-    Instances order by ``(sensor type name, instance index)`` so suites
-    and fault scenarios have a stable, readable ordering.
+    Instances order by ``(vehicle, sensor type name, instance index)`` so
+    suites and fault scenarios have a stable, readable ordering.
+
+    ``vehicle`` namespaces the instance within a fleet: vehicle 0 is the
+    single vehicle of every classic run and its ids render exactly as
+    before (``gps[0]``), so scenario hashes, cache keys and search
+    strategies are unchanged for fleet size 1.  Instances on other fleet
+    members render with a vehicle prefix (``v1:gps[0]``).
     """
 
     sensor_type: SensorType
     instance: int = 0
+    vehicle: int = 0
 
     def __post_init__(self) -> None:
         if self.instance < 0:
             raise ValueError("instance index cannot be negative")
+        if self.vehicle < 0:
+            raise ValueError("vehicle index cannot be negative")
 
     @property
     def label(self) -> str:
-        """Short human-readable label, e.g. ``gps[0]``."""
-        return f"{self.sensor_type.value}[{self.instance}]"
+        """Short human-readable label, e.g. ``gps[0]`` or ``v1:gps[0]``."""
+        base = f"{self.sensor_type.value}[{self.instance}]"
+        if self.vehicle == 0:
+            return base
+        return f"v{self.vehicle}:{base}"
+
+    @property
+    def base(self) -> "SensorId":
+        """The vehicle-0 (suite-local) id of this instance."""
+        if self.vehicle == 0:
+            return self
+        return SensorId(self.sensor_type, self.instance, 0)
+
+    def for_vehicle(self, vehicle: int) -> "SensorId":
+        """This instance namespaced to ``vehicle`` (self when unchanged)."""
+        if vehicle == self.vehicle:
+            return self
+        return SensorId(self.sensor_type, self.instance, vehicle)
 
     def _sort_key(self) -> tuple:
-        return (self.sensor_type.value, self.instance)
+        return (self.vehicle, self.sensor_type.value, self.instance)
 
     def __lt__(self, other: "SensorId") -> bool:
         if not isinstance(other, SensorId):

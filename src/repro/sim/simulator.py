@@ -7,17 +7,29 @@ and the vehicle state is updated.  :class:`Simulator` owns steps 2, 3
 (via the sensor suite it feeds), 5 and 6 of that loop and records the
 events the invariant monitor consumes (collisions, fence breaches,
 firmware process death).
+
+The simulator hosts a *fleet* of one or more vehicles sharing a single
+environment and clock.  The classic single-vehicle interface
+(:meth:`step`, :attr:`state`, the event logs) is untouched and, for
+fleet size 1, behaviourally identical to the pre-fleet simulator; fleet
+runs use :meth:`step_fleet` / :attr:`states` and additionally produce
+inter-vehicle :class:`ProximityEvent` records plus a running minimum
+pairwise separation used to calibrate the separation invariant.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.environment import Environment, FenceRegion, Obstacle, default_environment
 from repro.sim.physics import HARD_IMPACT_SPEED, ActuatorCommand, QuadrotorPhysics
 from repro.sim.state import VehicleState
 from repro.sim.vehicle import IRIS_QUADCOPTER, AirframeParameters
+
+#: Default east spacing between fleet launch pads, in metres.
+DEFAULT_PAD_SPACING_M = 8.0
 
 
 @dataclass(frozen=True)
@@ -28,13 +40,15 @@ class CollisionEvent:
     "rapidly (de)accelerates but has the same position as another
     simulated object, e.g. the ground".  We record both the obstacle (or
     ground) involved and the impact speed so reports can describe the
-    severity of the event.
+    severity of the event.  ``vehicle`` identifies the fleet member
+    involved (always 0 for classic single-vehicle runs).
     """
 
     time: float
     position: tuple
     impact_speed: float
     obstacle: Optional[str] = None
+    vehicle: int = 0
 
     @property
     def with_ground(self) -> bool:
@@ -44,19 +58,45 @@ class CollisionEvent:
     def describe(self) -> str:
         """Human-readable one-line description for reports."""
         target = self.obstacle if self.obstacle else "ground"
+        prefix = f"vehicle {self.vehicle} " if self.vehicle else ""
         return (
-            f"collision with {target} at t={self.time:.2f}s, "
+            f"{prefix}collision with {target} at t={self.time:.2f}s, "
             f"impact speed {self.impact_speed:.2f} m/s"
         )
 
 
 @dataclass(frozen=True)
 class FenceBreachEvent:
-    """The vehicle entered a keep-out fence region."""
+    """A vehicle entered a keep-out fence region."""
 
     time: float
     position: tuple
     fence: str
+    vehicle: int = 0
+
+
+@dataclass(frozen=True)
+class ProximityEvent:
+    """Two airborne fleet members came dangerously close.
+
+    One event is recorded per conflict *entry*: the pair must separate
+    beyond the threshold again before a new event can be recorded, the
+    same one-event-per-entry policy the fence breach log uses.
+    """
+
+    time: float
+    vehicle_a: int
+    vehicle_b: int
+    distance_m: float
+    position_a: tuple
+    position_b: tuple
+
+    def describe(self) -> str:
+        """Human-readable one-line description for reports."""
+        return (
+            f"vehicles {self.vehicle_a} and {self.vehicle_b} within "
+            f"{self.distance_m:.2f} m at t={self.time:.2f}s"
+        )
 
 
 @dataclass
@@ -92,17 +132,18 @@ class SimulationClock:
 
 
 class Simulator:
-    """Owns the physical world and the vehicle dynamics.
+    """Owns the physical world and the dynamics of a fleet of vehicles.
 
     The simulator exposes exactly the interface the rest of the stack
     needs:
 
-    * :meth:`step` -- integrate one time-step given the firmware's
-      actuator command and return the new :class:`VehicleState`.
-    * :attr:`state` -- the latest state snapshot (step 3 of Figure 7
-      reads sensor values from it).
-    * :attr:`collisions` / :attr:`fence_breaches` -- the event log the
-      invariant monitor inspects.
+    * :meth:`step` / :meth:`step_fleet` -- integrate one time-step given
+      the firmware actuator command(s) and return the new state(s).
+    * :attr:`state` / :attr:`states` -- the latest state snapshot(s)
+      (step 3 of Figure 7 reads sensor values from them).
+    * :attr:`collisions` / :attr:`fence_breaches` /
+      :attr:`proximity_events` -- the event log the invariant monitor
+      inspects.
     """
 
     def __init__(
@@ -110,26 +151,66 @@ class Simulator:
         airframe: AirframeParameters = IRIS_QUADCOPTER,
         environment: Optional[Environment] = None,
         dt: float = 0.01,
+        fleet_size: int = 1,
+        pad_spacing_m: float = DEFAULT_PAD_SPACING_M,
+        proximity_threshold_m: float = 0.0,
     ) -> None:
+        if fleet_size < 1:
+            raise ValueError("a simulation needs at least one vehicle")
         self.airframe = airframe
         self.environment = environment if environment is not None else default_environment()
         self.clock = SimulationClock(dt=dt)
-        self.physics = QuadrotorPhysics(
-            airframe=airframe, environment=self.environment, dt=dt
-        )
-        self._state = self.physics.snapshot()
+        self.fleet_size = fleet_size
+        self.pad_spacing_m = pad_spacing_m
+        self.proximity_threshold_m = proximity_threshold_m
+
+        self._fleet_physics: List[QuadrotorPhysics] = []
+        self._states: List[VehicleState] = []
+        for vehicle in range(fleet_size):
+            physics = QuadrotorPhysics(
+                airframe=airframe, environment=self.environment, dt=dt
+            )
+            if vehicle > 0:
+                north, east = self.pad_offset(vehicle)
+                physics.teleport(
+                    (north, east, self.environment.terrain_height(north, east))
+                )
+            self._fleet_physics.append(physics)
+            self._states.append(physics.snapshot())
+
         self._collisions: List[CollisionEvent] = []
         self._fence_breaches: List[FenceBreachEvent] = []
-        self._was_airborne = False
+        self._proximity_events: List[ProximityEvent] = []
+        self._last_fence: List[Optional[str]] = [None] * fleet_size
+        self._pairs_in_conflict: Dict[Tuple[int, int], bool] = {}
+        self._min_separation: Optional[float] = None
         self._step_listeners: List[Callable[[VehicleState], None]] = []
 
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------
     @property
+    def physics(self) -> QuadrotorPhysics:
+        """Vehicle 0's physics engine (the classic single-vehicle view)."""
+        return self._fleet_physics[0]
+
+    @property
     def state(self) -> VehicleState:
-        """The most recent vehicle state snapshot."""
-        return self._state
+        """The most recent state snapshot of vehicle 0."""
+        return self._states[0]
+
+    @property
+    def states(self) -> List[VehicleState]:
+        """The most recent state snapshot of every fleet member."""
+        return list(self._states)
+
+    def state_of(self, vehicle: int) -> VehicleState:
+        """The most recent state snapshot of one fleet member."""
+        return self._states[vehicle]
+
+    def pad_offset(self, vehicle: int) -> Tuple[float, float]:
+        """(north, east) launch-pad offset of a fleet member from home."""
+        return (0.0, vehicle * self.pad_spacing_m)
 
     @property
     def dt(self) -> float:
@@ -152,73 +233,153 @@ class Simulator:
         return list(self._fence_breaches)
 
     @property
+    def proximity_events(self) -> List[ProximityEvent]:
+        """Inter-vehicle proximity conflicts recorded so far."""
+        return list(self._proximity_events)
+
+    @property
+    def proximity_event_count(self) -> int:
+        """Number of proximity conflicts recorded so far (no copy)."""
+        return len(self._proximity_events)
+
+    @property
+    def min_separation_m(self) -> Optional[float]:
+        """Smallest airborne pairwise separation seen so far (fleet runs).
+
+        ``None`` for single-vehicle simulations and for fleet runs where
+        no two vehicles have been airborne together yet.  Fault-free
+        profiling runs expose this to the invariant monitor, which
+        calibrates the minimum-separation threshold from it.
+        """
+        return self._min_separation
+
+    @property
     def has_crashed(self) -> bool:
         """True when at least one collision has been recorded."""
         return bool(self._collisions)
 
     def add_step_listener(self, listener: Callable[[VehicleState], None]) -> None:
-        """Register a callback invoked with the state after every step."""
+        """Register a callback invoked with vehicle 0's state after every step."""
         self._step_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
     def step(self, command: ActuatorCommand) -> VehicleState:
-        """Advance the world by one time-step under ``command``."""
-        previous_airborne = not self._state.on_ground
-        self._state = self.physics.step(command)
+        """Advance a single-vehicle world by one time-step under ``command``."""
+        return self.step_fleet([command])[0]
+
+    def step_fleet(self, commands: Sequence[ActuatorCommand]) -> List[VehicleState]:
+        """Advance the whole fleet by one time-step, one command per vehicle."""
+        if len(commands) != self.fleet_size:
+            raise ValueError(
+                f"expected {self.fleet_size} command(s), got {len(commands)}"
+            )
+        previously_airborne = [not state.on_ground for state in self._states]
+        for vehicle, command in enumerate(commands):
+            self._states[vehicle] = self._fleet_physics[vehicle].step(command)
         self.clock.advance()
 
-        self._detect_ground_impact(previous_airborne)
-        self._detect_obstacle_collision()
-        self._detect_fence_breach()
+        for vehicle in range(self.fleet_size):
+            self._detect_ground_impact(vehicle, previously_airborne[vehicle])
+            self._detect_obstacle_collision(vehicle)
+            self._detect_fence_breach(vehicle)
+        if self.fleet_size > 1:
+            self._track_separation()
 
         for listener in self._step_listeners:
-            listener(self._state)
-        return self._state
+            listener(self._states[0])
+        return list(self._states)
 
-    def _detect_ground_impact(self, previously_airborne: bool) -> None:
-        """Record a collision when the vehicle hits the ground hard."""
-        if not previously_airborne or not self._state.on_ground:
+    def _detect_ground_impact(self, vehicle: int, previously_airborne: bool) -> None:
+        """Record a collision when a vehicle hits the ground hard."""
+        state = self._states[vehicle]
+        if not previously_airborne or not state.on_ground:
             return
-        impact_speed = self.physics.last_impact_speed
+        impact_speed = self._fleet_physics[vehicle].last_impact_speed
         if impact_speed >= HARD_IMPACT_SPEED:
             self._collisions.append(
                 CollisionEvent(
-                    time=self._state.time,
-                    position=self._state.position,
+                    time=state.time,
+                    position=state.position,
                     impact_speed=impact_speed,
                     obstacle=None,
+                    vehicle=vehicle,
                 )
             )
 
-    def _detect_obstacle_collision(self) -> None:
-        """Record a collision when the vehicle penetrates an obstacle."""
-        obstacle = self.environment.colliding_obstacle(self._state.position)
+    def _detect_obstacle_collision(self, vehicle: int) -> None:
+        """Record a collision when a vehicle penetrates an obstacle."""
+        state = self._states[vehicle]
+        obstacle = self.environment.colliding_obstacle(state.position)
         if obstacle is None:
             return
-        speed = max(self._state.ground_speed, abs(self._state.climb_rate))
+        speed = max(state.ground_speed, abs(state.climb_rate))
         self._collisions.append(
             CollisionEvent(
-                time=self._state.time,
-                position=self._state.position,
+                time=state.time,
+                position=state.position,
                 impact_speed=speed,
                 obstacle=obstacle.name,
+                vehicle=vehicle,
             )
         )
 
-    def _detect_fence_breach(self) -> None:
-        """Record a breach when the vehicle enters a keep-out region."""
-        if self._state.on_ground:
+    def _detect_fence_breach(self, vehicle: int) -> None:
+        """Record a breach when a vehicle enters a keep-out region."""
+        state = self._states[vehicle]
+        if state.on_ground:
             return
-        fence = self.environment.breached_fence(self._state.position)
+        fence = self.environment.breached_fence(state.position)
         if fence is None:
             return
-        if self._fence_breaches and self._fence_breaches[-1].fence == fence.name:
+        if self._last_fence[vehicle] == fence.name:
             # Still inside the same fence; one event per entry is enough.
             return
+        self._last_fence[vehicle] = fence.name
         self._fence_breaches.append(
             FenceBreachEvent(
-                time=self._state.time, position=self._state.position, fence=fence.name
+                time=state.time,
+                position=state.position,
+                fence=fence.name,
+                vehicle=vehicle,
             )
         )
+
+    def _track_separation(self) -> None:
+        """Track pairwise separation and record proximity conflicts.
+
+        Only pairs with both members airborne count: vehicles parked on
+        neighbouring launch pads are not a loss of separation, and a
+        landed vehicle is no longer traffic.
+        """
+        threshold = self.proximity_threshold_m
+        for a in range(self.fleet_size):
+            state_a = self._states[a]
+            if state_a.on_ground:
+                continue
+            for b in range(a + 1, self.fleet_size):
+                state_b = self._states[b]
+                if state_b.on_ground:
+                    continue
+                distance = math.dist(state_a.position, state_b.position)
+                if self._min_separation is None or distance < self._min_separation:
+                    self._min_separation = distance
+                if threshold <= 0.0:
+                    continue
+                pair = (a, b)
+                if distance < threshold:
+                    if not self._pairs_in_conflict.get(pair, False):
+                        self._pairs_in_conflict[pair] = True
+                        self._proximity_events.append(
+                            ProximityEvent(
+                                time=state_a.time,
+                                vehicle_a=a,
+                                vehicle_b=b,
+                                distance_m=distance,
+                                position_a=state_a.position,
+                                position_b=state_b.position,
+                            )
+                        )
+                else:
+                    self._pairs_in_conflict[pair] = False

@@ -18,6 +18,11 @@ Two default workloads are provided, matching Section V-A:
 
 Plus the Figure 8 :class:`~repro.workloads.builtin.AutoWorkload` used by
 the quickstart example.
+
+Fleet workloads (:mod:`repro.workloads.fleet`) drive several vehicles in
+one simulation through the same framework: a convoy follow, an
+altitude-deconflicted path crossing, and a simultaneous multi-pad
+takeoff/landing.
 """
 
 from repro.workloads.builtin import (
@@ -25,6 +30,13 @@ from repro.workloads.builtin import (
     PositionHoldBoxWorkload,
     WaypointFenceWorkload,
     default_workloads,
+)
+from repro.workloads.fleet import (
+    ConvoyFollowWorkload,
+    CrossingPathsWorkload,
+    FleetTarget,
+    MultiPadTakeoffLandWorkload,
+    default_fleet_workloads,
 )
 from repro.workloads.framework import (
     Target,
@@ -37,6 +49,10 @@ from repro.workloads.framework import (
 
 __all__ = [
     "AutoWorkload",
+    "ConvoyFollowWorkload",
+    "CrossingPathsWorkload",
+    "FleetTarget",
+    "MultiPadTakeoffLandWorkload",
     "PositionHoldBoxWorkload",
     "Target",
     "WaypointFenceWorkload",
@@ -45,5 +61,6 @@ __all__ = [
     "WorkloadOutcome",
     "WorkloadResult",
     "WorkloadTimeout",
+    "default_fleet_workloads",
     "default_workloads",
 ]

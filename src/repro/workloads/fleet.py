@@ -1,0 +1,314 @@
+"""Fleet workloads: missions flown by several vehicles at once.
+
+The classic workloads (:mod:`repro.workloads.builtin`) drive exactly one
+vehicle through the Figure 8 API.  :class:`FleetTarget` extends the same
+framework to a fleet: the harness provides one ground-control station
+per vehicle (see :meth:`repro.core.runner.SimulationHarness.vehicle`),
+and the base class adds fleet-wide arm / takeoff / land helpers so
+workload bodies read like their single-vehicle counterparts.
+
+Three built-in fleet workloads ship with the engine:
+
+* :class:`ConvoyFollowWorkload` -- a lead vehicle flies a straight
+  corridor while a follower keeps a fixed gap behind it.  A fail-safe
+  return on the lead sends it back *through* the follower's position,
+  the canonical loss-of-separation hazard of shared-home fleets.
+* :class:`CrossingPathsWorkload` -- two vehicles fly crossing legs that
+  are deconflicted by altitude; mishandled altitude-sensor failures
+  erode the vertical separation at the crossing point.
+* :class:`MultiPadTakeoffLandWorkload` -- every vehicle takes off from
+  its own pad simultaneously, hovers, and lands.  A fail-safe return on
+  any vehicle flies it to the shared home -- directly above pad 0.
+
+All three pass fault-free (they are profile-able, which the separation
+invariant's calibration requires) and keep a healthy margin above the
+calibrated minimum-separation threshold on golden runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.workloads.framework import Target, WorkloadFailure
+
+
+class FleetTarget(Target):
+    """Base class for workloads that drive more than one vehicle.
+
+    Subclasses declare how many vehicles they need via ``fleet_size``
+    (checked against the harness at run time) and reach individual
+    vehicles through :meth:`vehicle`.  The single-vehicle helpers
+    inherited from :class:`Target` keep operating on vehicle 0, the
+    lead.
+    """
+
+    #: Number of vehicles the workload needs; the run configuration's
+    #: ``fleet_size`` must be at least this.
+    fleet_size: int = 2
+
+    # ------------------------------------------------------------------
+    # Fleet introspection
+    # ------------------------------------------------------------------
+    def vehicle(self, index: int):
+        """The harness facade for fleet member ``index``."""
+        return self._harness.vehicle(index)
+
+    @property
+    def fleet(self) -> List:
+        """Handles for the vehicles this workload drives."""
+        return [self.vehicle(index) for index in range(self.fleet_size)]
+
+    def vehicle_altitude(self, index: int) -> float:
+        """Reported altitude of fleet member ``index``."""
+        return self.vehicle(index).telemetry.relative_altitude
+
+    def vehicle_position(self, index: int) -> tuple:
+        """Reported (north, east) offset of fleet member ``index``."""
+        handle = self.vehicle(index)
+        telemetry = handle.telemetry
+        home = self._harness.home
+        if not telemetry.latitude and not telemetry.longitude:
+            return handle.pad_offset
+        return home.local_offset_to(
+            type(home)(
+                latitude_deg=telemetry.latitude or home.latitude_deg,
+                longitude_deg=telemetry.longitude or home.longitude_deg,
+                altitude_msl_m=home.altitude_msl_m,
+            )
+        )
+
+    def check_fleet(self) -> None:
+        """Fail fast when the harness hosts fewer vehicles than needed."""
+        available = getattr(self._harness, "fleet_size", 1)
+        if available < self.fleet_size:
+            raise WorkloadFailure(
+                f"{self.display_name} needs a fleet of {self.fleet_size}, "
+                f"harness provides {available}"
+            )
+
+    # ------------------------------------------------------------------
+    # Fleet-wide operations
+    # ------------------------------------------------------------------
+    def arm_fleet(self, timeout_s: float = 30.0) -> None:
+        """Arm every vehicle, re-requesting until telemetry confirms."""
+        last_request = [-10.0] * self.fleet_size
+
+        def all_armed() -> bool:
+            armed = True
+            for index in range(self.fleet_size):
+                handle = self.vehicle(index)
+                if handle.telemetry.armed:
+                    continue
+                armed = False
+                if self._harness.time - last_request[index] > 1.0:
+                    handle.gcs.arm()
+                    last_request[index] = self._harness.time
+            return armed
+
+        self.wait_until(all_armed, timeout_s=timeout_s, description="fleet to arm")
+
+    def takeoff_fleet(
+        self,
+        altitudes: Sequence[float],
+        tolerance: float = 1.5,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Command a simultaneous guided takeoff, one altitude per vehicle."""
+        if len(altitudes) != self.fleet_size:
+            raise ValueError("one takeoff altitude per vehicle required")
+        for index, altitude in enumerate(altitudes):
+            self.vehicle(index).gcs.command_takeoff(altitude)
+        self.step(5)
+        self.wait_until(
+            lambda: all(
+                abs(self.vehicle_altitude(index) - altitudes[index]) <= tolerance
+                for index in range(self.fleet_size)
+            ),
+            timeout_s=timeout_s,
+            description="fleet takeoff altitudes",
+        )
+
+    def goto_vehicle(self, index: int, north: float, east: float, altitude: float) -> None:
+        """Send one vehicle a guided target (offsets from home, metres)."""
+        self.vehicle(index).set_guided_target(north, east, altitude)
+
+    def wait_vehicle_position(
+        self,
+        index: int,
+        north: float,
+        east: float,
+        radius: float = 3.0,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Wait until one vehicle is within ``radius`` metres of a point."""
+
+        def reached() -> bool:
+            d_north, d_east = self.vehicle_position(index)
+            return math.hypot(d_north - north, d_east - east) <= radius
+
+        self.wait_until(
+            reached,
+            timeout_s=timeout_s,
+            description=f"vehicle {index} at ({north:.0f}, {east:.0f})",
+        )
+
+    def land_fleet(self, timeout_s: Optional[float] = None) -> None:
+        """Switch every vehicle to land and wait until all have disarmed."""
+        for index in range(self.fleet_size):
+            self.vehicle(index).gcs.set_mode(self._harness.land_mode_name)
+        self.step(5)
+        self.wait_until(
+            lambda: all(
+                not self.vehicle(index).telemetry.armed
+                for index in range(self.fleet_size)
+            ),
+            timeout_s=timeout_s,
+            description="fleet to land and disarm",
+        )
+
+
+class ConvoyFollowWorkload(FleetTarget):
+    """A two-vehicle convoy along a straight northbound corridor.
+
+    The lead launches from pad 0, the follower from pad 1.  After a
+    simultaneous takeoff the follower falls in ``gap_m`` metres behind
+    the lead on the corridor's centreline, and the pair advances in
+    ``leg_step_m`` increments until the lead has covered ``leg_m``
+    metres.  Both land in place.
+
+    The convoy altitude is deliberately above the firmware's RTL return
+    altitude so a mid-corridor fail-safe return flies the lead back at
+    convoy altitude -- head-on through the follower's slot.
+    """
+
+    name = "convoy-follow"
+    fleet_size = 2
+
+    def __init__(
+        self,
+        altitude: float = 16.0,
+        leg_m: float = 40.0,
+        gap_m: float = 6.0,
+        leg_step_m: float = 10.0,
+        init_wait_ms: float = 2000.0,
+    ) -> None:
+        super().__init__()
+        self.altitude = altitude
+        self.leg_m = leg_m
+        self.gap_m = gap_m
+        self.leg_step_m = leg_step_m
+        self.init_wait_ms = init_wait_ms
+
+    def test(self) -> None:
+        self.check_fleet()
+        self.wait_time(self.init_wait_ms)
+        self.arm_fleet()
+        self.takeoff_fleet([self.altitude, self.altitude])
+
+        # Form up: the follower slots in behind the lead on the corridor
+        # centreline (north axis through pad 0).
+        self.goto_vehicle(1, -self.gap_m, 0.0, self.altitude)
+        self.wait_vehicle_position(1, -self.gap_m, 0.0, radius=3.0)
+
+        distance = self.leg_step_m
+        while distance <= self.leg_m:
+            self.goto_vehicle(0, distance, 0.0, self.altitude)
+            self.goto_vehicle(1, distance - self.gap_m, 0.0, self.altitude)
+            self.wait_vehicle_position(0, distance, 0.0, radius=3.0)
+            distance += self.leg_step_m
+
+        self.land_fleet()
+        self.pass_test()
+
+
+class CrossingPathsWorkload(FleetTarget):
+    """Two vehicles fly crossing legs deconflicted by altitude.
+
+    Vehicle 0 flies its leg low, vehicle 1 flies high; their ground
+    tracks cross mid-leg, so the whole vertical margin
+    (``high_altitude - low_altitude``) is what keeps them separated at
+    the crossing point.  Sensor failures that corrupt the altitude
+    estimate (or trigger a descending fail-safe mid-leg) spend that
+    margin.
+    """
+
+    name = "crossing-paths"
+    fleet_size = 2
+
+    def __init__(
+        self,
+        low_altitude: float = 10.0,
+        high_altitude: float = 16.0,
+        leg_m: float = 30.0,
+        init_wait_ms: float = 2000.0,
+    ) -> None:
+        super().__init__()
+        self.low_altitude = low_altitude
+        self.high_altitude = high_altitude
+        self.leg_m = leg_m
+        self.init_wait_ms = init_wait_ms
+
+    def test(self) -> None:
+        self.check_fleet()
+        self.wait_time(self.init_wait_ms)
+        pad_east = self.vehicle(1).pad_offset[1]
+        self.arm_fleet()
+        self.takeoff_fleet([self.low_altitude, self.high_altitude])
+
+        # Crossing ground tracks: vehicle 0 from pad 0 to the far corner
+        # above pad 1's column, vehicle 1 the mirror image.
+        self.goto_vehicle(0, self.leg_m, pad_east, self.low_altitude)
+        self.goto_vehicle(1, self.leg_m, 0.0, self.high_altitude)
+        self.wait_vehicle_position(0, self.leg_m, pad_east, radius=3.0)
+        self.wait_vehicle_position(1, self.leg_m, 0.0, radius=3.0)
+
+        self.land_fleet()
+        self.pass_test()
+
+
+class MultiPadTakeoffLandWorkload(FleetTarget):
+    """Simultaneous takeoff, hover and landing from a row of pads.
+
+    Exercises the densest phase of fleet operation: every vehicle in the
+    air at once, separated only by the pad spacing.  Any fail-safe
+    return flies the affected vehicle to the shared home point --
+    directly above pad 0 and through the hovering formation.
+    """
+
+    name = "multi-pad"
+    fleet_size = 3
+
+    def __init__(
+        self,
+        altitude: float = 12.0,
+        hover_ms: float = 3000.0,
+        init_wait_ms: float = 2000.0,
+        fleet_size: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if fleet_size is not None:
+            if fleet_size < 2:
+                raise ValueError("a multi-pad fleet needs at least 2 vehicles")
+            self.fleet_size = fleet_size
+        self.altitude = altitude
+        self.hover_ms = hover_ms
+        self.init_wait_ms = init_wait_ms
+
+    def test(self) -> None:
+        self.check_fleet()
+        self.wait_time(self.init_wait_ms)
+        self.arm_fleet()
+        self.takeoff_fleet([self.altitude] * self.fleet_size)
+        self.wait_time(self.hover_ms)
+        self.land_fleet()
+        self.pass_test()
+
+
+def default_fleet_workloads() -> List[FleetTarget]:
+    """The three built-in fleet workloads with their default geometry."""
+    return [
+        ConvoyFollowWorkload(),
+        CrossingPathsWorkload(),
+        MultiPadTakeoffLandWorkload(),
+    ]

@@ -143,12 +143,12 @@ class TestResultCache:
         cache = ResultCache()
         key = scenario_key(short_auto_config, "auto", self._scenario())
         assert cache.get(key) is None
-        assert cache.stats == {"hits": 0, "misses": 1, "entries": 0}
+        assert (cache.stats["hits"], cache.stats["misses"], cache.stats["entries"]) == (0, 1, 0)
         result = make_run_result()
         cache.put(key, result)
         assert key in cache
         assert cache.get(key) is result
-        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+        assert (cache.stats["hits"], cache.stats["misses"], cache.stats["entries"]) == (1, 1, 1)
 
     def test_disk_round_trip(self, tmp_path, short_auto_config):
         key = scenario_key(short_auto_config, "auto", self._scenario())
@@ -159,6 +159,103 @@ class TestResultCache:
         assert restored is not None
         assert restored.triggered_bugs == ["APM-0001"]
         assert reader.hits == 1
+
+
+class TestCacheGc:
+    def _fill(self, cache, count):
+        for index in range(count):
+            cache.put(f"key{index:02d}", make_run_result())
+
+    def _disk_entries(self, tmp_path):
+        return sorted(p.name for p in tmp_path.iterdir() if p.suffix == ".pkl")
+
+    def test_max_entries_caps_directory(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path), max_entries=3)
+        self._fill(cache, 5)
+        assert len(self._disk_entries(tmp_path)) == 3
+        assert cache.evictions == 2
+
+    def test_eviction_is_least_recently_used(self, tmp_path):
+        import os
+        import time as time_module
+
+        # Stage three entries with mtimes firmly in the past, in a known
+        # LRU order, then let a bounded cache's next put trigger the GC.
+        staging = ResultCache(directory=str(tmp_path))
+        self._fill(staging, 3)
+        base = time_module.time() - 1000.0
+        for index in range(3):
+            os.utime(
+                tmp_path / f"key{index:02d}.pkl", (base + index, base + index)
+            )
+        bounded = ResultCache(directory=str(tmp_path), max_entries=2)
+        bounded.put("fresh", make_run_result())
+        assert self._disk_entries(tmp_path) == ["fresh.pkl", "key02.pkl"]
+        assert bounded.evictions == 2
+        # Evicted entries are gone for lookups too.
+        assert bounded.get("key00") is None
+
+    def test_max_bytes_caps_directory_size(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path), max_bytes=1)
+        self._fill(cache, 3)
+        # Every put over the cap evicts down to at most one entry (the
+        # newest write always survives).
+        assert len(self._disk_entries(tmp_path)) <= 1
+        assert cache.evictions >= 2
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        self._fill(cache, 5)
+        assert len(self._disk_entries(tmp_path)) == 5
+        assert cache.evictions == 0
+
+    def test_version_stamp_invalidates_stale_entries(self, tmp_path):
+        from repro.engine.cache import bug_registry_stamp
+
+        writer = ResultCache(directory=str(tmp_path))
+        self._fill(writer, 2)
+        stamp_file = tmp_path / ResultCache.VERSION_FILENAME
+        assert stamp_file.read_text().strip() == bug_registry_stamp()
+
+        # Same registry: entries survive a reopen.
+        same = ResultCache(directory=str(tmp_path))
+        assert same.invalidated == 0
+        assert len(self._disk_entries(tmp_path)) == 2
+
+        # A stamp from a different bug registry: entries are discarded.
+        stamp_file.write_text("0" * 64 + "\n")
+        reopened = ResultCache(directory=str(tmp_path))
+        assert reopened.invalidated == 2
+        assert self._disk_entries(tmp_path) == []
+        assert stamp_file.read_text().strip() == bug_registry_stamp()
+
+    def test_unstamped_directory_with_entries_is_purged(self, tmp_path):
+        # A pre-stamp cache directory gives no way to tell which bug
+        # registry produced its entries; they must not be served.
+        writer = ResultCache(directory=str(tmp_path))
+        self._fill(writer, 2)
+        (tmp_path / ResultCache.VERSION_FILENAME).unlink()
+        reopened = ResultCache(directory=str(tmp_path))
+        assert reopened.invalidated == 2
+        assert self._disk_entries(tmp_path) == []
+
+    def test_memory_hits_refresh_lru_order(self, tmp_path):
+        import os
+        import time as time_module
+
+        cache = ResultCache(directory=str(tmp_path), max_entries=2)
+        cache.put("key-a", make_run_result())
+        cache.put("key-b", make_run_result())
+        base = time_module.time() - 1000.0
+        os.utime(tmp_path / "key-a.pkl", (base, base))
+        os.utime(tmp_path / "key-b.pkl", (base + 1, base + 1))
+        # A memory-layer hit on the oldest entry must refresh its mtime...
+        assert cache.get("key-a") is not None
+        # ...so the next eviction removes key-b, not the hot key-a.
+        cache.put("key-c", make_run_result())
+        names = self._disk_entries(tmp_path)
+        assert "key-a.pkl" in names
+        assert "key-b.pkl" not in names
 
 
 class TestBackendDeterminism:
@@ -229,7 +326,137 @@ class TestCampaignGrid:
             CampaignGrid([cell, cell])
 
 
+class TestGridResume:
+    def _cells(self, config, seeds):
+        return [
+            GridCell(
+                cell_id=f"ardupilot/auto/random-{seed}",
+                config=config,
+                strategy_factory=lambda seed=seed: RandomInjection(rng_seed=seed),
+                budget_units=2.0,
+            )
+            for seed in seeds
+        ]
+
+    def test_stream_and_resume_skip_completed_cells(self, short_auto_config, tmp_path):
+        from repro.engine.grid import load_completed_cells
+
+        stream = tmp_path / "grid.jsonl"
+        first = CampaignGrid(
+            self._cells(short_auto_config, (1, 2)), max_workers=1
+        ).run(stream_path=str(stream))
+        assert len(first.results) == 2
+        completed = load_completed_cells(str(stream))
+        assert sorted(completed) == sorted(first.results)
+
+        # Resume with one extra cell: only the new cell executes, the
+        # summary still covers the whole matrix.
+        executed = []
+        outcome = CampaignGrid(
+            self._cells(short_auto_config, (1, 2, 3)), max_workers=1
+        ).run(
+            on_progress=lambda cell_id, campaign: executed.append(cell_id),
+            stream_path=str(stream),
+            completed=completed,
+        )
+        assert executed == ["ardupilot/auto/random-3"]
+        assert list(outcome.results) == ["ardupilot/auto/random-3"]
+        summary = outcome.summary()
+        assert summary["totals"]["campaigns"] == 3
+        assert summary["totals"]["resumed"] == 2
+        json.dumps(summary)  # must stay JSON-serialisable
+        # The stream now records all three cells for a later resume.
+        assert len(load_completed_cells(str(stream))) == 3
+
+    def test_resume_reruns_cells_with_changed_configuration(
+        self, short_auto_config, short_waypoint_config, tmp_path
+    ):
+        from repro.engine.grid import load_completed_cells
+
+        stream = tmp_path / "grid.jsonl"
+        CampaignGrid(self._cells(short_auto_config, (1,)), max_workers=1).run(
+            stream_path=str(stream)
+        )
+        completed = load_completed_cells(str(stream))
+        # Same cell id, different configuration: the streamed result must
+        # not be trusted and the cell reruns.
+        changed = self._cells(short_waypoint_config, (1,))
+        outcome = CampaignGrid(changed, max_workers=1).run(completed=completed)
+        assert list(outcome.results) == [changed[0].cell_id]
+        assert outcome.resumed_cells == 0
+
+    def test_load_completed_cells_skips_corrupt_lines(self, tmp_path):
+        from repro.engine.grid import load_completed_cells
+
+        stream = tmp_path / "grid.jsonl"
+        stream.write_text(
+            '{"cell": "good", "simulations": 1}\n'
+            '{"cell": "truncated", "simulati\n'
+            "\n"
+        )
+        completed = load_completed_cells(str(stream))
+        assert sorted(completed) == ["good"]
+
+    def test_cli_resume_round_trip(self, tmp_path):
+        from repro.engine.cli import main
+
+        stream = tmp_path / "stream.jsonl"
+        out = tmp_path / "grid.json"
+        args = [
+            "--strategy", "random",
+            "--workload", "auto",
+            "--budget", "2",
+            "--workers", "1",
+            "--quiet",
+            "--stream", str(stream),
+            "--json", str(out),
+        ]
+        assert main(args) == 0
+        assert stream.exists()
+        # Second invocation resumes everything: no new work, same totals.
+        args_resume = [
+            "--strategy", "random",
+            "--workload", "auto",
+            "--budget", "2",
+            "--workers", "1",
+            "--quiet",
+            "--resume", str(stream),
+            "--json", str(out),
+        ]
+        assert main(args_resume) == 0
+        summary = json.loads(out.read_text())
+        assert summary["totals"]["campaigns"] == 1
+        assert summary["totals"]["resumed"] == 1
+
+
 class TestEngineCli:
+    def test_mixed_classic_and_fleet_grids_build(self):
+        from repro.engine.cli import build_cells, build_parser
+
+        args = build_parser().parse_args(
+            ["--workload", "auto", "convoy", "--fleet-size", "2"]
+        )
+        cells = build_cells(args)
+        by_workload = {cell.cell_id: cell.config.fleet_size for cell in cells}
+        assert all(
+            size == (2 if "convoy" in cell_id else 1)
+            for cell_id, size in by_workload.items()
+        )
+
+    def test_fleet_size_without_fleet_workload_rejected(self):
+        from repro.engine.cli import build_cells, build_parser
+
+        args = build_parser().parse_args(["--workload", "auto", "--fleet-size", "3"])
+        with pytest.raises(ValueError):
+            build_cells(args)
+
+    def test_oversize_fixed_fleet_rejected(self):
+        from repro.engine.cli import build_cells, build_parser
+
+        args = build_parser().parse_args(["--workload", "convoy", "--fleet-size", "4"])
+        with pytest.raises(ValueError):
+            build_cells(args)
+
     def test_cli_writes_json_summary(self, tmp_path):
         from repro.engine.cli import main
 
