@@ -1,7 +1,7 @@
-"""Engine scaling: worker-count and fleet-size axes on fixed campaigns.
+"""Engine scaling: worker-count, fleet-size, and batched-SABRE axes.
 
-Two scaling axes are measured and written to ``BENCH_engine.json`` next
-to the repository root:
+Three scaling axes are measured and written to ``BENCH_engine.json``
+next to the repository root:
 
 * **Workers** -- a fixed, seeded 32-scenario campaign (the same
   scenarios, in the same order) executed through :class:`SerialBackend`
@@ -12,12 +12,22 @@ to the repository root:
   the multi-pad fleet workload at fleet sizes 2 and 3, recording
   seconds per simulation so the cost of hosting more vehicles per run
   is tracked over time.
+* **SABRE** -- the paper's headline strategy run as a full (profiled,
+  budgeted) campaign through the batch protocol: serial backend versus
+  a 4-worker pool at the recorded ``per_dequeue``, with the two
+  campaigns asserted bit-identical (same scenarios, same order, same
+  found-bug set) before the wall-clocks are compared.
 
-The speedup assertion (>1.5x with 4 workers) only applies on machines
-with at least two usable cores -- a process pool cannot beat serial
-execution of CPU-bound simulations on a single core, and CI containers
-are frequently single-core.  The JSON records the measured numbers and
-the core count either way.
+The report also records ``calibration_s`` -- the wall-clock of a fixed
+pure-python workload -- so ``benchmarks/check_regression.py`` can scale
+the committed ``BENCH_baseline.json`` thresholds to the speed of the
+machine actually running CI.
+
+Speedups are *asserted* only on machines with at least two usable cores
+(a process pool cannot beat serial execution of CPU-bound simulations
+on a single core, and CI containers are frequently single-core); on a
+single core the measured numbers are annotated in the JSON and the
+console instead.
 """
 
 import json
@@ -26,9 +36,9 @@ import random
 import time
 from pathlib import Path
 
-import pytest
-
+from repro.core.avis import Avis
 from repro.core.config import RunConfiguration
+from repro.core.strategies import AvisStrategy
 from repro.engine.backends import ProcessPoolBackend, SerialBackend
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.hinj.faults import FaultScenario, FaultSpec
@@ -41,6 +51,8 @@ SCENARIO_COUNT = 32
 RNG_SEED = 17
 FLEET_SIZES = (2, 3)
 FLEET_SCENARIO_COUNT = 4
+SABRE_BUDGET = 10.0
+SABRE_PER_DEQUEUE = 4
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -49,6 +61,25 @@ def _usable_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def _calibrate() -> float:
+    """Wall-clock of a fixed pure-python workload (machine speed probe).
+
+    The regression gate scales the committed baseline's absolute
+    timings by the ratio of this number across machines, so a slower
+    CI runner does not read as a regression and a faster one does not
+    mask one.
+    """
+    def spin() -> float:
+        started = time.perf_counter()
+        acc = 0
+        for i in range(2_000_000):
+            acc += i * i
+        return time.perf_counter() - started
+
+    spin()  # warm-up
+    return min(spin() for _ in range(3))
 
 
 def _config() -> RunConfiguration:
@@ -125,6 +156,57 @@ def _measure_fleet_axis() -> dict:
     return axis
 
 
+def _sabre_campaign(backend):
+    """One full batched-SABRE campaign; returns (campaign, wall seconds,
+    engine round stats)."""
+    avis = Avis(
+        _config(), profiling_runs=2, budget_units=SABRE_BUDGET, backend=backend
+    )
+    avis.profile()  # profiling excluded from the timed section
+    started = time.perf_counter()
+    campaign = avis.check(
+        strategy=AvisStrategy(max_scenarios_per_dequeue=SABRE_PER_DEQUEUE)
+    )
+    elapsed = time.perf_counter() - started
+    return campaign, elapsed, dict(avis.engine.last_stats)
+
+
+def _measure_sabre_axis() -> dict:
+    """Batched SABRE, serial vs pool: the paper's headline strategy is
+    the one axis the PR 1 worker pool could not accelerate before the
+    dequeue-level batch protocol existed."""
+    serial_campaign, serial_s, serial_stats = _sabre_campaign(SerialBackend())
+    pool = ProcessPoolBackend(max_workers=4)
+    try:
+        pool_campaign, pool_s, _ = _sabre_campaign(pool)
+    finally:
+        pool.close()
+
+    # Determinism before performance: the two campaigns must be
+    # bit-identical or the speedup is meaningless.
+    assert [str(r.scenario) for r in pool_campaign.results] == [
+        str(r.scenario) for r in serial_campaign.results
+    ]
+    assert pool_campaign.triggered_bug_ids == serial_campaign.triggered_bug_ids
+    assert pool_campaign.budget_spent == serial_campaign.budget_spent
+
+    return {
+        "budget_units": SABRE_BUDGET,
+        "per_dequeue": SABRE_PER_DEQUEUE,
+        "simulations": serial_campaign.simulations,
+        "unsafe_scenarios": serial_campaign.unsafe_scenario_count,
+        "proposal_rounds": serial_stats["rounds"],
+        "serial_s": serial_s,
+        "pool_s": pool_s,
+        "speedup_pool4": serial_s / pool_s if pool_s > 0 else None,
+        "seconds_per_simulation": (
+            serial_s / serial_campaign.simulations
+            if serial_campaign.simulations
+            else None
+        ),
+    }
+
+
 def _outcome_signature(results) -> list:
     return [
         (str(result.scenario), result.steps, len(result.collisions),
@@ -158,17 +240,27 @@ def test_engine_scaling(benchmark, capsys):
     assert signatures["workers4"] == signatures["serial"]
 
     fleet_axis = _measure_fleet_axis()
+    sabre_axis = _measure_sabre_axis()
 
     cpus = _usable_cpus()
+    single_core = cpus < 2
     report = {
         "scenario_count": SCENARIO_COUNT,
         "usable_cpus": cpus,
+        "calibration_s": _calibrate(),
         "serial_s": timings["serial"],
         "workers2_s": timings["workers2"],
         "workers4_s": timings["workers4"],
+        "seconds_per_simulation": timings["serial"] / SCENARIO_COUNT,
         "speedup_workers2": timings["serial"] / timings["workers2"],
         "speedup_workers4": timings["serial"] / timings["workers4"],
+        "speedup_note": (
+            "single-core runner: speedups annotated, not asserted"
+            if single_core
+            else None
+        ),
         "fleet_scaling": fleet_axis,
+        "sabre": sabre_axis,
     }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
 
@@ -183,11 +275,19 @@ def test_engine_scaling(benchmark, capsys):
             print(f"  {label}    : {entry['wall_s']:.2f}s for "
                   f"{entry['scenario_count']} sims "
                   f"({entry['seconds_per_simulation']:.2f}s/sim)")
+        print(f"  sabre     : {sabre_axis['serial_s']:.2f}s serial vs "
+              f"{sabre_axis['pool_s']:.2f}s pooled "
+              f"({sabre_axis['speedup_pool4']:.2f}x, "
+              f"{sabre_axis['simulations']} sims, "
+              f"per_dequeue={sabre_axis['per_dequeue']}, "
+              f"{sabre_axis['proposal_rounds']} rounds)")
+        if single_core:
+            print(f"  note      : {report['speedup_note']}")
         print(f"  written to {OUTPUT_PATH}")
 
+    # Speedups are annotations on single-core runners, assertions
+    # everywhere else.
     if cpus >= 4:
         assert report["speedup_workers4"] > 1.5
     elif cpus >= 2:
         assert report["speedup_workers2"] > 1.2
-    else:
-        pytest.xfail("single-core machine: parallel speedup not measurable")

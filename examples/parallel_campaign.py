@@ -8,7 +8,10 @@ Three stages, each building on the previous one:
 2. re-run the campaign against the orchestrator's result cache and show
    the repeat costs (almost) no simulation time;
 3. shard a small (strategy x budget) campaign grid across workers --
-   the Python-API equivalent of ``python -m repro.engine``.
+   the Python-API equivalent of ``python -m repro.engine``;
+4. run SABRE itself -- the paper's feedback-driven headline strategy --
+   through the batch protocol: each transition dequeue fans out as one
+   concurrent batch, and the campaign stays bit-identical to serial.
 
 Run with:  python examples/parallel_campaign.py
 """
@@ -18,7 +21,7 @@ from __future__ import annotations
 import time
 
 from repro import Avis, RunConfiguration
-from repro.core.strategies import RandomInjection, StratifiedBFI
+from repro.core.strategies import AvisStrategy, RandomInjection, StratifiedBFI
 from repro.engine import ProcessPoolBackend, SerialBackend
 from repro.engine.grid import CampaignGrid, GridCell
 from repro.firmware.ardupilot import ArduPilotFirmware
@@ -78,6 +81,27 @@ def main() -> None:
     totals = outcome.summary()["totals"]
     print(f"  grid totals : {totals} in {outcome.wall_seconds:.1f}s "
           f"across {outcome.workers} worker(s)")
+
+    print("\n4. Batched SABRE: the headline strategy, dequeue-parallel:")
+
+    def sabre_campaign(backend, label):
+        avis = Avis(make_config(), profiling_runs=2, budget_units=10, backend=backend)
+        avis.profile()
+        started = time.perf_counter()
+        campaign = avis.check(strategy=AvisStrategy(max_scenarios_per_dequeue=4))
+        elapsed = time.perf_counter() - started
+        stats = avis.engine.last_stats
+        print(f"  {label:>12}: {campaign.summary().strip()}  [{elapsed:.1f}s, "
+              f"{stats['proposed']} scenarios in {stats['rounds']} rounds]")
+        return campaign
+
+    serial_sabre = sabre_campaign(SerialBackend(), "serial")
+    pooled_sabre = sabre_campaign(ProcessPoolBackend(max_workers=4), "4 workers")
+    assert [r.scenario for r in pooled_sabre.results] == [
+        r.scenario for r in serial_sabre.results
+    ]
+    assert pooled_sabre.triggered_bug_ids == serial_sabre.triggered_bug_ids
+    print("  bit-identical: same scenarios, same order, same found-bug set")
 
 
 if __name__ == "__main__":

@@ -120,6 +120,17 @@ class RedundancyPruner:
         """Scenarios known to trigger bugs."""
         return set(self._bug_scenarios)
 
+    @property
+    def found_bug_pruning_enabled(self) -> bool:
+        """True when supersets of bug-triggering scenarios are pruned.
+
+        Batched SABRE consults this to decide whether a candidate's
+        admission can depend on the outcome of an in-flight simulation:
+        with found-bug pruning disabled no such dependency exists and
+        batches never need to be cut early.
+        """
+        return self._enable_found_bug
+
     # ------------------------------------------------------------------
     # The CanPrune decision
     # ------------------------------------------------------------------

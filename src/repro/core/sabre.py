@@ -17,17 +17,63 @@ exactly Algorithm 1; with a small bound the same scenarios are explored
 in a fairer order across transitions, which matters when the simulation
 budget is far smaller than the paper's two hours.  The default campaign
 uses a bound of 8.
+
+Batched exploration
+-------------------
+
+SABRE is feedback-driven: an unsafe result feeds the found-bug pruner and
+a bug-free result re-seeds the transition queue.  The search is therefore
+implemented as a *resumable proposal machine* rather than a plain loop:
+
+* :meth:`SabreSearch.propose_batch` walks the dequeue -> candidate
+  expansion exactly as the sequential loop would -- same budget checks,
+  same pruning decisions, same cursor bookkeeping -- but instead of
+  simulating each accepted candidate it *reserves* its simulation cost
+  and appends it to the batch.  Feedback that depends on a run's outcome
+  (found-bug pruning, queue re-seeding, the end-of-visit re-enqueue that
+  must follow it) is written to a pending log.
+* The campaign engine executes the whole batch concurrently on its
+  execution backend and ingests every result into the session in
+  proposal order.
+* The next :meth:`propose_batch` call replays the pending log in
+  canonical order -- bugs recorded, transitions enqueued, entries
+  re-enqueued exactly where the sequential loop would have put them --
+  before proposing more work.
+
+The one place a candidate's *admission* genuinely depends on an outcome
+still in flight is found-bug pruning: a strict superset of an in-flight
+scenario must be skipped if that scenario turns out unsafe.  The machine
+cuts the batch immediately before any such candidate (the cursor is not
+advanced), so the decision is re-taken next round with full knowledge.
+Everything else that feeds ``CanPrune`` -- duplicate and symmetry
+pruning -- depends only on a candidate having been *explored*, which is
+certain the moment its simulation is reserved, so that state is applied
+eagerly at proposal time.
+
+The result is the PR 1 determinism contract for the paper's headline
+strategy: a batched campaign is bit-identical to the sequential one --
+same scenarios in the same order, same budget trajectory, same pruning
+statistics -- at every budget.  :meth:`SabreSearch.run` itself is the
+machine driven at batch size one with immediate feedback, which reduces
+to Algorithm 1 by construction.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Deque,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.pruning import RedundancyPruner
-from repro.core.runner import RunResult
 from repro.core.session import ExplorationSession
 from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario, FaultSpec
 from repro.sensors.base import SensorId
@@ -41,6 +87,13 @@ class _QueueEntry:
     timestamp: float
     base: FaultScenario
     cursor: int = 0
+
+
+#: Pending-feedback operations, replayed in canonical (sequential) order:
+#: ``("ran", scenario)`` consumes the scenario's result -- record the bug
+#: or re-seed the queue; ``("requeue", entry)`` re-enqueues a visited
+#: entry behind the queue appends of the runs that preceded it.
+_PendingOp = Tuple[str, Union[FaultScenario, _QueueEntry]]
 
 
 @dataclass
@@ -79,6 +132,14 @@ class SabreSearch:
         )
         self._subsets = self._enumerate_subsets()
         self.report = SabreReport()
+        # --- proposal-machine state -----------------------------------
+        self._queue: Optional[Deque[_QueueEntry]] = None
+        self._visit_entry: Optional[_QueueEntry] = None
+        self._visit_cursor: int = 0
+        self._visit_ran: int = 0
+        self._pending_ops: List[_PendingOp] = []
+        self._in_flight: List[FrozenSet[FaultSpec]] = []
+        self._finished = False
 
     # ------------------------------------------------------------------
     # Subset enumeration (the PowerSet of line 5, smallest subsets first)
@@ -123,63 +184,198 @@ class SabreSearch:
         """The redundancy pruner (exposes pruning statistics)."""
         return self._pruner
 
+    @property
+    def session(self) -> ExplorationSession:
+        """The exploration session this search charges and records into."""
+        return self._session
+
+    @property
+    def max_scenarios_per_dequeue(self) -> Optional[int]:
+        """The per-dequeue simulation bound (None disables it)."""
+        return self._per_dequeue
+
+    @property
+    def finished(self) -> bool:
+        """True once the queue or the budget has been exhausted."""
+        return self._finished
+
     # ------------------------------------------------------------------
-    # The search
+    # The proposal machine
     # ------------------------------------------------------------------
-    def run(self) -> SabreReport:
-        """Execute the search until the queue or the budget is exhausted."""
-        session = self._session
-        queue: Deque[_QueueEntry] = deque(
+    def _start(self) -> None:
+        if self._queue is not None:
+            return
+        self._queue = deque(
             _QueueEntry(timestamp=time, base=EMPTY_SCENARIO)
             for time in self._initial_injection_times()
         )
-        if not queue:
-            queue.append(_QueueEntry(timestamp=0.0, base=EMPTY_SCENARIO))
+        if not self._queue:
+            self._queue.append(_QueueEntry(timestamp=0.0, base=EMPTY_SCENARIO))
 
-        while queue and session.budget.can_afford_simulation():
-            entry = queue.popleft()
-            ran_this_visit = 0
-            cursor = entry.cursor
-            while cursor < len(self._subsets):
-                if not session.budget.can_afford_simulation():
-                    break
-                if self._per_dequeue is not None and ran_this_visit >= self._per_dequeue:
-                    break
-                subset = self._subsets[cursor]
-                cursor += 1
-                scenario = entry.base.extended(
-                    FaultSpec(sensor_id, entry.timestamp) for sensor_id in subset
-                )
-                if self._pruner.can_prune(scenario) or session.was_explored(scenario):
-                    self.report.pruned += 1
-                    continue
-                result = session.run_scenario(scenario)
+    def _apply_feedback(self) -> None:
+        """Replay the pending log in canonical order.
+
+        Every ``"ran"`` scenario's result must already be in the session
+        (the engine ingests the whole batch, in proposal order, before
+        asking for more work; the sequential driver runs each scenario
+        before re-entering the machine).
+        """
+        assert self._queue is not None
+        for op, payload in self._pending_ops:
+            if op == "ran":
+                scenario = payload
+                result = self._session.result_for(scenario)
                 if result is None:
-                    break
-                ran_this_visit += 1
-                self.report.simulations += 1
-                self._pruner.record_explored(scenario)
+                    raise RuntimeError(
+                        "batched SABRE proposed a scenario whose result was "
+                        "never ingested -- the engine must record every "
+                        "proposed scenario before the next proposal round"
+                    )
                 if result.found_unsafe_condition:
                     self.report.unsafe_scenarios += 1
                     self._pruner.record_bug(scenario)
                 else:
                     # Bug-free runs seed deeper, multi-time scenarios.
                     for transition_time in result.transition_times:
-                        queue.append(_QueueEntry(timestamp=transition_time, base=scenario))
-
-            if cursor < len(self._subsets):
-                # Not finished with this entry: come back to it later.
-                queue.append(
-                    _QueueEntry(timestamp=entry.timestamp, base=entry.base, cursor=cursor)
-                )
+                        self._queue.append(
+                            _QueueEntry(timestamp=transition_time, base=scenario)
+                        )
             else:
-                # Line 20: revisit the neighbourhood of this transition at a
-                # later timestamp (bounded by the mission duration).
-                shifted_time = entry.timestamp + self._time_quantum
-                if shifted_time <= self._session.mission_duration:
-                    queue.append(_QueueEntry(timestamp=shifted_time, base=entry.base))
+                self._queue.append(payload)
+        self._pending_ops.clear()
+        self._in_flight.clear()
 
-        self.report.queue_exhausted = not queue
+    def _emit_requeue(self, entry: _QueueEntry) -> None:
+        """Re-enqueue ``entry``, behind any queue appends still pending."""
+        if self._pending_ops:
+            self._pending_ops.append(("requeue", entry))
+        else:
+            assert self._queue is not None
+            self._queue.append(entry)
+
+    def _end_visit(self, completed: bool) -> None:
+        entry = self._visit_entry
+        assert entry is not None
+        if not completed:
+            # Not finished with this entry: come back to it later.
+            self._emit_requeue(
+                _QueueEntry(
+                    timestamp=entry.timestamp,
+                    base=entry.base,
+                    cursor=self._visit_cursor,
+                )
+            )
+        else:
+            # Line 20: revisit the neighbourhood of this transition at a
+            # later timestamp (bounded by the mission duration).
+            shifted_time = entry.timestamp + self._time_quantum
+            if shifted_time <= self._session.mission_duration:
+                self._emit_requeue(
+                    _QueueEntry(timestamp=shifted_time, base=entry.base)
+                )
+        self._visit_entry = None
+
+    def _depends_on_in_flight(self, scenario: FaultScenario) -> bool:
+        """True when the sequential loop *might* prune ``scenario`` based
+        on the outcome of a simulation still in flight.
+
+        Found-bug pruning skips strict supersets of a scenario that
+        triggered a bug, so a candidate is only outcome-dependent when
+        its fault set strictly contains an in-flight scenario's faults.
+        """
+        if not self._in_flight or not self._pruner.found_bug_pruning_enabled:
+            return False
+        faults = frozenset(scenario)
+        return any(pending < faults for pending in self._in_flight)
+
+    def propose_batch(
+        self, max_scenarios: int, charge: bool = True
+    ) -> List[FaultScenario]:
+        """Propose up to ``max_scenarios`` independent scenarios.
+
+        Walks the dequeue expansion in sequential order, charging one
+        simulation per accepted candidate (``charge=False`` leaves the
+        charging to a sequential driver that simulates immediately).
+        Returns ``[]`` once the queue or the budget is exhausted; a
+        non-empty batch must be fully simulated and ingested into the
+        session before the next call.
+        """
+        session = self._session
+        self._start()
+        self._apply_feedback()
+        assert self._queue is not None
+        batch: List[FaultScenario] = []
+        while len(batch) < max_scenarios and not self._finished:
+            if self._visit_entry is None:
+                # The outer loop: pop the next entry, if any work remains.
+                if not self._queue:
+                    if self._pending_ops:
+                        # In-flight runs may refill the queue; wait.
+                        break
+                    self._finished = True
+                    break
+                if not session.budget.can_afford_simulation():
+                    self._finished = True
+                    break
+                entry = self._queue.popleft()
+                self._visit_entry = entry
+                self._visit_cursor = entry.cursor
+                self._visit_ran = 0
+            entry = self._visit_entry
+            # The inner loop's exit conditions, in sequential order.
+            if self._visit_cursor >= len(self._subsets):
+                self._end_visit(completed=True)
+                continue
+            if not session.budget.can_afford_simulation():
+                self._end_visit(completed=False)
+                continue
+            if self._per_dequeue is not None and self._visit_ran >= self._per_dequeue:
+                self._end_visit(completed=False)
+                continue
+            subset = self._subsets[self._visit_cursor]
+            scenario = entry.base.extended(
+                FaultSpec(sensor_id, entry.timestamp) for sensor_id in subset
+            )
+            if self._depends_on_in_flight(scenario):
+                # Admission depends on an outcome still in flight: cut the
+                # batch here (cursor untouched) and re-decide next round.
+                break
+            self._visit_cursor += 1
+            if self._pruner.can_prune(scenario) or session.was_explored(scenario):
+                self.report.pruned += 1
+                continue
+            if charge and not session.reserve_simulation():
+                # Unreachable in practice: affordability was checked just
+                # above and nothing has charged the budget since.
+                self._visit_cursor -= 1
+                self._end_visit(completed=False)
+                continue
+            self._visit_ran += 1
+            self.report.simulations += 1
+            # Exploration is certain from this point on, so duplicate and
+            # symmetry pruning may see the candidate immediately.
+            self._pruner.record_explored(scenario)
+            self._in_flight.append(frozenset(scenario))
+            self._pending_ops.append(("ran", scenario))
+            batch.append(scenario)
+        if self._finished and not self._pending_ops:
+            self.report.queue_exhausted = not self._queue
+        return batch
+
+    # ------------------------------------------------------------------
+    # The sequential search (the machine at batch size one)
+    # ------------------------------------------------------------------
+    def run(self) -> SabreReport:
+        """Execute the search until the queue or the budget is exhausted."""
+        session = self._session
+        while True:
+            batch = self.propose_batch(1, charge=False)
+            if not batch:
+                break
+            # run_scenario charges the simulation the machine accounted
+            # for (charge=False) and records the result, so the next
+            # proposal immediately consumes its feedback.
+            session.run_scenario(batch[0])
         return self.report
 
     def _profile_transition_times(self) -> List[float]:

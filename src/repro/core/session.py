@@ -175,6 +175,16 @@ class ExplorationSession:
         """True when ``scenario`` has already been simulated."""
         return scenario in self._explored
 
+    def result_for(self, scenario: FaultScenario) -> Optional[RunResult]:
+        """The recorded result of ``scenario``, or None when unexplored.
+
+        Batch proposers use this to consume the outcome of a scenario
+        the campaign engine executed and ingested between proposal
+        rounds (SABRE's found-bug pruning and queue re-seeding, BFI's
+        online model updates).
+        """
+        return self._explored.get(scenario)
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------

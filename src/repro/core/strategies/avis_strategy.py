@@ -2,16 +2,26 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.sabre import SabreSearch
 from repro.core.session import ExplorationSession
 from repro.core.strategies.base import SearchStrategy, StrategyFeatures
+from repro.hinj.faults import FaultScenario
 from repro.sensors.base import SensorId
 
 
 class AvisStrategy(SearchStrategy):
-    """The paper's approach (column "Avis" of Table I)."""
+    """The paper's approach (column "Avis" of Table I).
+
+    Supports the campaign engine's batch protocol: each transition
+    dequeue expands into up to ``max_scenarios_per_dequeue`` independent
+    candidate scenarios that are simulated concurrently, with feedback
+    (found-bug pruning, queue re-seeding) consumed between proposal
+    rounds in the sequential order -- so a batched campaign is
+    bit-identical to the sequential ``explore()`` loop at every budget
+    (see :mod:`repro.core.sabre` for the machinery).
+    """
 
     name = "avis"
     features = StrategyFeatures(
@@ -33,13 +43,33 @@ class AvisStrategy(SearchStrategy):
         self._per_dequeue = max_scenarios_per_dequeue
         self.last_search: Optional[SabreSearch] = None
 
-    def explore(self, session: ExplorationSession) -> None:
-        search = SabreSearch(
+    def _make_search(self, session: ExplorationSession) -> SabreSearch:
+        return SabreSearch(
             session=session,
             failures=self._failures,
             max_concurrent_failures=self._max_concurrent,
             time_quantum_s=self._time_quantum,
             max_scenarios_per_dequeue=self._per_dequeue,
         )
+
+    def explore(self, session: ExplorationSession) -> None:
+        search = self._make_search(session)
         self.last_search = search
         search.run()
+
+    def propose_batch(
+        self, session: ExplorationSession, max_scenarios: int
+    ) -> Optional[List[FaultScenario]]:
+        """Expand the next transition dequeue(s) into a concurrent batch.
+
+        The search machine is created on first use and keyed to the
+        session, so a strategy instance reused for a second campaign
+        restarts its queue rather than resuming the first campaign's.
+        All budget charging happens inside the machine, per candidate,
+        in the sequential loop's order.
+        """
+        search = self.last_search
+        if search is None or search.session is not session:
+            search = self._make_search(session)
+            self.last_search = search
+        return search.propose_batch(max_scenarios)

@@ -60,10 +60,13 @@ class SearchStrategy(abc.ABC):
         Contract:
 
         * ``None`` -- the strategy does not support batching; the engine
-          falls back to the sequential :meth:`explore` loop.  This is the
-          default, so adaptive strategies (SABRE's feedback-driven queue,
-          BFI's budget-interleaved labelling) keep their exact published
-          behaviour.
+          falls back to the sequential :meth:`explore` loop.  This is
+          the default for strategies that have not implemented the
+          protocol.  Feedback-driven strategies (SABRE's transition
+          queue, BFI with online learning) implement it by deferring
+          their feedback consumption to the top of the next proposal
+          round, applied in canonical per-candidate order, so batched
+          runs stay bit-identical to sequential ones.
         * ``[]`` -- the strategy has exhausted its search space or its
           budget; the campaign is over.
         * A non-empty list -- scenarios to simulate, in proposal order;
@@ -84,6 +87,11 @@ class SearchStrategy(abc.ABC):
     def supports_batching(self) -> bool:
         """True when the strategy overrides :meth:`propose_batch`."""
         return type(self).propose_batch is not SearchStrategy.propose_batch
+
+    @property
+    def has_batch_support(self) -> bool:
+        """Alias of :attr:`supports_batching` (the engine's public name)."""
+        return self.supports_batching
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} '{self.name}'>"

@@ -52,6 +52,17 @@ def _run_one(scenario: FaultScenario) -> RunResult:
     return TestRunner(config, monitor=monitor).run(scenario)
 
 
+def _run_indexed(item: Tuple[int, FaultScenario]) -> Tuple[int, RunResult]:
+    """Execute one (submission index, scenario) pair inside a worker.
+
+    The index rides along so the parent can collect completions in
+    whatever order the pool finishes them and still reorder the batch
+    back into submission order.
+    """
+    index, scenario = item
+    return index, _run_one(scenario)
+
+
 class ExecutionBackend(abc.ABC):
     """Executes batches of independent simulations."""
 
@@ -171,12 +182,19 @@ class ProcessPoolBackend(ExecutionBackend):
             )
 
         pool = self._ensure_pool(config, monitor)
-        results: List[RunResult] = []
-        for index, result in enumerate(pool.imap(_run_one, scenarios, chunksize=1)):
-            results.append(result)
+        # In-flight scheduling: collect completions as the workers finish
+        # them (imap_unordered has no head-of-line blocking, so a slow
+        # scenario never stalls the progress callback behind it) and
+        # reorder into submission order via the indices that rode along.
+        slots: List[Optional[RunResult]] = [None] * len(scenarios)
+        for index, result in pool.imap_unordered(
+            _run_indexed, list(enumerate(scenarios)), chunksize=1
+        ):
+            slots[index] = result
             if on_result is not None:
                 on_result(index, result)
-        return results
+        assert all(result is not None for result in slots)
+        return slots  # type: ignore[return-value]
 
     def close(self) -> None:
         """Terminate the worker pool (if one is running)."""

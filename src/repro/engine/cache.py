@@ -364,6 +364,15 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._memory)
 
+    def keys(self) -> List[str]:
+        """Every key with an in-memory entry, sorted.
+
+        The determinism tests compare a batched campaign's cache keys
+        against a sequential one's -- content-addressed keys make that a
+        direct statement of "the same (config, scenario) pairs ran".
+        """
+        return sorted(self._memory)
+
     def __contains__(self, key: str) -> bool:
         return key in self._memory or (
             self._directory is not None and os.path.exists(self._path(key))

@@ -8,11 +8,18 @@ driven in rounds: the engine asks for a batch of scenarios (the
 proposer charges labelling and simulation budget in its sequential
 per-candidate order), resolves cache hits, fans the remainder out to
 the execution backend, then records every result in proposal order
-before asking for the next batch.  Strategies without a
-batch implementation -- SABRE's feedback-driven queue, BFI's
-budget-interleaved labelling -- fall back to their sequential
-``explore()`` loop unchanged, which still benefits from the result
-cache via the session.
+before asking for the next batch.  Strategies without a batch
+implementation fall back to their sequential ``explore()`` loop
+unchanged, which still benefits from the result cache via the session.
+
+For SABRE -- the paper's headline strategy -- each round is (up to) one
+transition-dequeue's worth of candidate expansion, so the proposal
+round *is* the barrier of the barrier-per-dequeue pipeline: every
+in-flight simulation of a round completes and is ingested before the
+feedback-consuming decisions of the next round are taken.  The backend
+is free to finish the round's simulations in any order (and does, see
+:class:`repro.engine.backends.ProcessPoolBackend`); the engine reorders
+them back into proposal order at recording time.
 
 Recording in proposal order is what keeps a parallel campaign
 bit-identical to a serial one: the per-run outcomes are deterministic
@@ -22,7 +29,7 @@ could otherwise scramble.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.backends import ExecutionBackend, SerialBackend
 from repro.engine.cache import (
@@ -49,6 +56,11 @@ class CampaignEngine:
         self._backend = backend if backend is not None else SerialBackend()
         self._cache = cache
         self._batch_size = max(1, batch_size)
+        self.last_stats: Dict[str, int] = self._fresh_stats()
+
+    @staticmethod
+    def _fresh_stats() -> Dict[str, int]:
+        return {"rounds": 0, "proposed": 0, "cache_hits": 0, "executed": 0}
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -60,15 +72,24 @@ class CampaignEngine:
         """The shared result cache (None when caching is disabled)."""
         return self._cache
 
+    @property
+    def batch_size(self) -> int:
+        """Scenarios requested per proposal round."""
+        return self._batch_size
+
     def execute(self, strategy, session) -> None:
         """Run ``strategy`` to budget exhaustion, recording into ``session``.
 
         Budget accounting happens entirely inside ``propose_batch`` (in
         the same per-candidate order as the strategy's sequential loop),
         so the engine only executes what was proposed and records the
-        results.
+        results.  :attr:`last_stats` afterwards reports how the campaign
+        was scheduled: proposal rounds, scenarios proposed, cache hits
+        resolved without a simulation, and scenarios the backend
+        actually executed.
         """
-        if not strategy.supports_batching:
+        self.last_stats = self._fresh_stats()
+        if not strategy.has_batch_support:
             strategy.explore(session)
             return
 
@@ -86,6 +107,8 @@ class CampaignEngine:
                 return
             if not batch:
                 return
+            self.last_stats["rounds"] += 1
+            self.last_stats["proposed"] += len(batch)
 
             # Resolve cache hits, then execute the misses as one batch.
             slots: List[Tuple[object, str, Optional[object]]] = []
@@ -101,7 +124,12 @@ class CampaignEngine:
                 slots.append((scenario, key, cached))
                 if cached is None:
                     pending.append(scenario)
+            self.last_stats["cache_hits"] += len(batch) - len(pending)
+            self.last_stats["executed"] += len(pending)
 
+            # The backend may complete the round's simulations in any
+            # order; run_scenarios hands them back in submission order,
+            # and recording follows proposal order slot by slot.
             executed = iter(
                 self._backend.run_scenarios(config, monitor, pending)
             )

@@ -129,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="budget(s) in simulation-cost units; one grid axis per value",
     )
     parser.add_argument(
+        "--per-dequeue", type=int, default=None, metavar="N",
+        help="SABRE: candidate scenarios expanded (and simulated "
+        "concurrently) per transition dequeue before the entry is "
+        "re-queued; 0 disables the bound (exact Algorithm 1). "
+        "Default: the AvisStrategy default (6). "
+        "Only the 'avis' strategy consumes this.",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: CPU count, capped at 4)",
     )
@@ -155,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _strategy_factory(strategy_name: str, args: argparse.Namespace):
+    """The per-cell strategy factory, honouring the SABRE knobs."""
+    if strategy_name == "avis" and args.per_dequeue is not None:
+        per_dequeue = None if args.per_dequeue == 0 else args.per_dequeue
+        return lambda: AvisStrategy(max_scenarios_per_dequeue=per_dequeue)
+    return STRATEGIES[strategy_name]
+
+
+def _strategy_id(strategy_name: str, args: argparse.Namespace) -> str:
+    """The cell-id fragment for a strategy; default knobs keep the
+    historical ids so existing stream files still resume."""
+    if strategy_name == "avis" and args.per_dequeue is not None:
+        return f"avis@pd{args.per_dequeue}"
+    return strategy_name
+
+
 def build_cells(args: argparse.Namespace) -> List[GridCell]:
     if args.fleet_size != 1 and not any(
         workload in FLEET_WORKLOADS for workload in args.workload
@@ -163,6 +187,11 @@ def build_cells(args: argparse.Namespace) -> List[GridCell]:
             "--fleet-size applies only to fleet workloads "
             f"({', '.join(sorted(FLEET_WORKLOADS))}); none requested"
         )
+    if args.per_dequeue is not None:
+        if args.per_dequeue < 0:
+            raise ValueError("--per-dequeue must be >= 0 (0 disables the bound)")
+        if "avis" not in args.strategy:
+            raise ValueError("--per-dequeue applies only to the 'avis' strategy")
     cells: List[GridCell] = []
     for firmware_name in args.firmware:
         for workload_name in args.workload:
@@ -199,9 +228,9 @@ def build_cells(args: argparse.Namespace) -> List[GridCell]:
                     cells.append(
                         GridCell(
                             cell_id=f"{firmware_name}/{workload_id}/"
-                            f"{strategy_name}/{budget:g}",
+                            f"{_strategy_id(strategy_name, args)}/{budget:g}",
                             config=config,
-                            strategy_factory=STRATEGIES[strategy_name],
+                            strategy_factory=_strategy_factory(strategy_name, args),
                             budget_units=budget,
                             profiling_runs=args.profiling_runs,
                         )

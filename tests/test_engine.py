@@ -35,7 +35,9 @@ class TestBatchProtocol:
         assert RandomInjection().supports_batching
         assert DepthFirstSearch().supports_batching
         assert StratifiedBFI().supports_batching
-        assert not AvisStrategy().supports_batching
+        # The paper's headline strategy batches too (dequeue-level
+        # parallel expansion); see tests/test_sabre_batch.py.
+        assert AvisStrategy().supports_batching
 
     def test_depth_first_batches_follow_enumeration_order(self, waypoint_avis):
         from repro.core.runner import TestRunner
@@ -454,6 +456,39 @@ class TestEngineCli:
         from repro.engine.cli import build_cells, build_parser
 
         args = build_parser().parse_args(["--workload", "convoy", "--fleet-size", "4"])
+        with pytest.raises(ValueError):
+            build_cells(args)
+
+    def test_per_dequeue_shapes_avis_cells(self):
+        from repro.engine.cli import build_cells, build_parser
+
+        args = build_parser().parse_args(
+            ["--strategy", "avis", "random", "--per-dequeue", "4"]
+        )
+        cells = {cell.cell_id: cell for cell in build_cells(args)}
+        avis_id = next(cell_id for cell_id in cells if "avis" in cell_id)
+        assert "avis@pd4" in avis_id
+        strategy = cells[avis_id].strategy_factory()
+        assert strategy.last_search is None
+        assert strategy._per_dequeue == 4
+        # 0 disables the bound (exact Algorithm 1).
+        args = build_parser().parse_args(
+            ["--strategy", "avis", "--per-dequeue", "0"]
+        )
+        strategy = build_cells(args)[0].strategy_factory()
+        assert strategy._per_dequeue is None
+
+    def test_per_dequeue_without_avis_rejected(self):
+        from repro.engine.cli import build_cells, build_parser
+
+        args = build_parser().parse_args(
+            ["--strategy", "random", "--per-dequeue", "4"]
+        )
+        with pytest.raises(ValueError):
+            build_cells(args)
+        args = build_parser().parse_args(
+            ["--strategy", "avis", "--per-dequeue", "-1"]
+        )
         with pytest.raises(ValueError):
             build_cells(args)
 

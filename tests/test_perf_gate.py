@@ -1,0 +1,155 @@
+"""Unit tests for the CI perf-regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_GATE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _GATE_PATH)
+check_regression_module = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", check_regression_module)
+_spec.loader.exec_module(check_regression_module)
+
+check_regression = check_regression_module.check_regression
+main = check_regression_module.main
+
+
+def report(
+    seconds=1.0,
+    fleet2=2.0,
+    sabre=1.5,
+    calibration=0.1,
+    cpus=1,
+    speedup2=1.0,
+    sabre_speedup=1.0,
+):
+    return {
+        "usable_cpus": cpus,
+        "calibration_s": calibration,
+        "seconds_per_simulation": seconds,
+        "speedup_workers2": speedup2,
+        "fleet_scaling": {
+            "fleet2": {"seconds_per_simulation": fleet2},
+        },
+        "sabre": {
+            "seconds_per_simulation": sabre,
+            "speedup_pool4": sabre_speedup,
+        },
+    }
+
+
+class TestSecondsGate:
+    def test_identical_reports_pass(self):
+        failures, _ = check_regression(report(), report())
+        assert failures == []
+
+    def test_within_tolerance_passes(self):
+        failures, _ = check_regression(report(seconds=1.0), report(seconds=1.2))
+        assert failures == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        failures, _ = check_regression(report(seconds=1.0), report(seconds=1.3))
+        assert any("seconds_per_simulation" in failure for failure in failures)
+
+    def test_fleet_axis_is_gated(self):
+        failures, _ = check_regression(report(fleet2=1.0), report(fleet2=1.4))
+        assert any("fleet_scaling.fleet2" in failure for failure in failures)
+
+    def test_sabre_axis_is_gated(self):
+        failures, _ = check_regression(report(sabre=1.0), report(sabre=1.4))
+        assert any("sabre.seconds_per_simulation" in f for f in failures)
+
+    def test_missing_current_metric_is_noted_not_failed(self):
+        current = report()
+        del current["sabre"]
+        failures, notes = check_regression(report(), current)
+        assert failures == []
+        assert any("sabre.seconds_per_simulation" in note for note in notes)
+
+
+class TestCalibrationScaling:
+    def test_slower_runner_is_not_flagged(self):
+        # The current machine is 2x slower overall (calibration doubled):
+        # doubled campaign timings are expected, not a regression.
+        failures, notes = check_regression(
+            report(seconds=1.0, calibration=0.1),
+            report(seconds=2.0, calibration=0.2),
+        )
+        assert failures == []
+        assert any("scaled by 2.00x" in note for note in notes)
+
+    def test_faster_hardware_cannot_mask_a_regression(self):
+        # Calibration halved (machine 2x faster) but the campaign got
+        # barely faster: relative to the machine, that is a regression.
+        failures, _ = check_regression(
+            report(seconds=1.0, calibration=0.2),
+            report(seconds=0.9, calibration=0.1),
+        )
+        assert any("seconds_per_simulation" in failure for failure in failures)
+
+
+class TestSpeedupGating:
+    def test_single_core_skips_speedup_assertions(self):
+        failures, notes = check_regression(
+            report(), report(cpus=1, speedup2=0.5, sabre_speedup=0.5)
+        )
+        assert failures == []
+        assert any("speedup assertions skipped" in note for note in notes)
+
+    def test_multi_core_asserts_speedup_floor(self):
+        failures, _ = check_regression(report(), report(cpus=4, speedup2=0.7))
+        assert any("speedup_workers2" in failure for failure in failures)
+
+    def test_multi_core_healthy_speedups_pass(self):
+        failures, _ = check_regression(
+            report(), report(cpus=4, speedup2=1.8, sabre_speedup=1.6)
+        )
+        assert failures == []
+
+
+class TestCli:
+    def test_main_passes_on_committed_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(report()))
+        current.write_text(json.dumps(report(seconds=1.1)))
+        assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_main_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(report(seconds=1.0)))
+        current.write_text(json.dumps(report(seconds=2.0)))
+        assert main(["--baseline", str(baseline), "--current", str(current)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_main_reports_unreadable_baseline(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(report()))
+        code = main(
+            ["--baseline", str(tmp_path / "missing.json"), "--current", str(current)]
+        )
+        assert code == 2
+
+    def test_tolerance_flag_widens_the_gate(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(report(seconds=1.0)))
+        current.write_text(json.dumps(report(seconds=1.6)))
+        args = ["--baseline", str(baseline), "--current", str(current)]
+        assert main(args) == 1
+        assert main(args + ["--tolerance", "0.75"]) == 0
+
+    def test_committed_baseline_is_gate_clean(self):
+        # The committed baseline must parse and pass the gate against
+        # itself; comparing against a live BENCH_engine.json is CI's job
+        # (a stale local artifact from another machine must not fail
+        # plain `pytest`).
+        repo_root = Path(__file__).resolve().parent.parent
+        baseline = repo_root / "BENCH_baseline.json"
+        assert baseline.exists(), "BENCH_baseline.json must be committed"
+        assert main(["--current", str(baseline)]) == 0

@@ -1,0 +1,361 @@
+"""Batched SABRE: dequeue-level parallel exploration must be bit-identical.
+
+The campaign engine drives ``AvisStrategy`` through the batch protocol:
+each transition dequeue expands into up to ``max_scenarios_per_dequeue``
+independent candidates that are simulated concurrently, with feedback
+(found-bug pruning, queue re-seeding) applied between rounds in the
+sequential order.  These tests pin the PR 1 determinism contract for the
+paper's headline strategy: the batched path reproduces the sequential
+``explore()`` loop bit-for-bit -- same scenarios in the same order, same
+budget trajectory, same pruning statistics, same found-bug set, same
+cache keys -- at every budget, batch width, and fleet size.
+
+The exhaustive matrix runs against the stub fault space (instant
+"simulations"), real-simulator coverage runs a small budget end to end
+through :class:`SerialBackend` and :class:`ProcessPoolBackend`.
+"""
+
+import dataclasses
+from types import SimpleNamespace
+
+import pytest
+
+from test_sabre_strategies import StubRunner, make_session, profiling_run
+
+from repro.core.avis import Avis
+from repro.core.config import RunConfiguration
+from repro.core.runner import TestRunner
+from repro.core.sabre import SabreSearch
+from repro.core.session import BudgetAccount, ExplorationSession
+from repro.core.strategies import AvisStrategy, BayesianFaultInjection
+from repro.engine.backends import ProcessPoolBackend, SerialBackend
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.sensors.suite import iris_sensor_suite
+from repro.workloads.fleet import MultiPadTakeoffLandWorkload
+
+
+def make_fleet_session(budget_units=50.0, runner=None, fleet_size=2):
+    """A stub session whose fault space is namespaced per vehicle."""
+    runner = runner if runner is not None else StubRunner()
+    runner.config = SimpleNamespace(fleet_size=fleet_size)
+    return ExplorationSession(
+        runner=runner,
+        budget=BudgetAccount(total_units=budget_units),
+        profiling_run=profiling_run(),
+        suite=iris_sensor_suite(),
+    )
+
+
+def drive_batched(search: SabreSearch, batch_size: int) -> None:
+    """Drive the proposal machine the way the campaign engine does:
+    execute every proposed scenario, ingest results in proposal order."""
+    session = search.session
+    runner = session.runner
+    while True:
+        batch = search.propose_batch(batch_size)
+        if not batch:
+            return
+        results = [runner.run(scenario) for scenario in batch]
+        for scenario, result in zip(batch, results):
+            session.ingest_result(scenario, result)
+
+
+def signature(session: ExplorationSession):
+    return [
+        (str(result.scenario), result.found_unsafe_condition)
+        for result in session.results
+    ]
+
+
+class TestStubBitIdentity:
+    """The exhaustive (budget x per-dequeue x batch-width) matrix."""
+
+    @pytest.mark.parametrize("budget", [4.0, 16.0, 64.0])
+    @pytest.mark.parametrize("per_dequeue", [1, 4])
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    def test_batched_matches_sequential(self, budget, per_dequeue, batch_size):
+        sequential_session = make_session(budget_units=budget, runner=StubRunner())
+        sequential = SabreSearch(
+            sequential_session, max_scenarios_per_dequeue=per_dequeue
+        )
+        sequential.run()
+
+        batched_session = make_session(budget_units=budget, runner=StubRunner())
+        batched = SabreSearch(batched_session, max_scenarios_per_dequeue=per_dequeue)
+        drive_batched(batched, batch_size)
+
+        assert signature(batched_session) == signature(sequential_session)
+        assert dataclasses.astuple(batched.report) == dataclasses.astuple(
+            sequential.report
+        )
+        assert (
+            batched_session.budget.spent_units
+            == sequential_session.budget.spent_units
+        )
+        assert (
+            batched_session.budget.simulations
+            == sequential_session.budget.simulations
+        )
+        seq_stats = sequential.pruner.statistics
+        bat_stats = batched.pruner.statistics
+        assert (
+            bat_stats.found_bug_pruned,
+            bat_stats.symmetry_pruned,
+            bat_stats.duplicate_pruned,
+        ) == (
+            seq_stats.found_bug_pruned,
+            seq_stats.symmetry_pruned,
+            seq_stats.duplicate_pruned,
+        )
+
+    @pytest.mark.parametrize("budget", [4.0, 16.0, 64.0])
+    def test_fleet_fault_space_matches_sequential(self, budget):
+        """fleet_size=2: the per-vehicle namespaced fault space batches
+        identically (vehicle-0 GPS failures stay the unsafe trigger)."""
+        sequential_session = make_fleet_session(budget_units=budget)
+        sequential = SabreSearch(sequential_session, max_scenarios_per_dequeue=4)
+        sequential.run()
+
+        batched_session = make_fleet_session(budget_units=budget)
+        batched = SabreSearch(batched_session, max_scenarios_per_dequeue=4)
+        drive_batched(batched, 8)
+
+        assert signature(batched_session) == signature(sequential_session)
+        assert dataclasses.astuple(batched.report) == dataclasses.astuple(
+            sequential.report
+        )
+
+    def test_unbounded_dequeue_matches_sequential(self):
+        sequential_session = make_session(budget_units=30.0, runner=StubRunner())
+        SabreSearch(sequential_session, max_scenarios_per_dequeue=None).run()
+        batched_session = make_session(budget_units=30.0, runner=StubRunner())
+        drive_batched(
+            SabreSearch(batched_session, max_scenarios_per_dequeue=None), 8
+        )
+        assert signature(batched_session) == signature(sequential_session)
+
+    def test_found_bug_dependent_candidates_wait_for_feedback(self):
+        """A strict superset of an in-flight scenario must not be proposed
+        in the same round -- its admission depends on that outcome."""
+        session = make_session(budget_units=50.0, runner=StubRunner())
+        search = SabreSearch(session, max_scenarios_per_dequeue=None)
+        batch = search.propose_batch(1000)
+        fault_sets = [frozenset(scenario) for scenario in batch]
+        for index, faults in enumerate(fault_sets):
+            for earlier in fault_sets[:index]:
+                assert not earlier < faults, (
+                    "batch contains a strict superset of an earlier "
+                    "in-flight scenario"
+                )
+
+
+class TestBatchedBfi:
+    def test_bfi_batched_matches_sequential(self):
+        sequential_session = make_session(budget_units=12.0, runner=StubRunner())
+        sequential = BayesianFaultInjection(candidate_granularity_s=1.0)
+        sequential.explore(sequential_session)
+
+        batched_session = make_session(budget_units=12.0, runner=StubRunner())
+        batched = BayesianFaultInjection(candidate_granularity_s=1.0)
+        runner = batched_session.runner
+        while True:
+            batch = batched.propose_batch(batched_session, 8)
+            if not batch:
+                break
+            for scenario in batch:
+                batched_session.ingest_result(scenario, runner.run(scenario))
+                batched.simulations_run += 1
+
+        assert signature(batched_session) == signature(sequential_session)
+        assert (
+            batched_session.budget.spent_units
+            == sequential_session.budget.spent_units
+        )
+        assert batched.labels_issued == sequential.labels_issued
+        assert batched.simulations_run == sequential.simulations_run
+
+    def test_bfi_online_learning_defers_model_updates(self):
+        """With learn_online the model evolves with every outcome, so a
+        round closes per in-flight scenario -- and still matches the
+        sequential loop's trajectory exactly."""
+        def run(strategy, session, batched):
+            if not batched:
+                strategy.explore(session)
+                return
+            runner = session.runner
+            while True:
+                batch = strategy.propose_batch(session, 8)
+                if not batch:
+                    return
+                assert len(batch) == 1  # feedback barrier per scenario
+                for scenario in batch:
+                    session.ingest_result(scenario, runner.run(scenario))
+                    strategy.simulations_run += 1
+
+        sequential_session = make_session(budget_units=12.0, runner=StubRunner())
+        sequential = BayesianFaultInjection(
+            candidate_granularity_s=1.0, learn_online=True
+        )
+        run(sequential, sequential_session, batched=False)
+
+        batched_session = make_session(budget_units=12.0, runner=StubRunner())
+        batched = BayesianFaultInjection(
+            candidate_granularity_s=1.0, learn_online=True
+        )
+        run(batched, batched_session, batched=True)
+
+        assert signature(batched_session) == signature(sequential_session)
+        assert batched.labels_issued == sequential.labels_issued
+        assert (
+            batched_session.budget.spent_units
+            == sequential_session.budget.spent_units
+        )
+
+
+class TestBatchSupport:
+    def test_avis_strategy_has_batch_support(self):
+        # Regression: the paper's headline strategy must never fall back
+        # to the sequential path in the parallel campaign engine again.
+        strategy = AvisStrategy()
+        assert strategy.has_batch_support
+        assert strategy.supports_batching
+
+    def test_plain_bfi_has_batch_support(self):
+        assert BayesianFaultInjection().has_batch_support
+
+    def test_strategy_reuse_restarts_search(self):
+        """A strategy instance reused for a second campaign restarts its
+        transition queue instead of resuming the first campaign's."""
+        strategy = AvisStrategy(max_scenarios_per_dequeue=4)
+        first = make_session(budget_units=6.0, runner=StubRunner())
+        second = make_session(budget_units=6.0, runner=StubRunner())
+        for session in (first, second):
+            runner = session.runner
+            while True:
+                batch = strategy.propose_batch(session, 8)
+                if not batch:
+                    break
+                for scenario in batch:
+                    session.ingest_result(scenario, runner.run(scenario))
+        assert signature(first) == signature(second)
+
+
+class TestEndToEnd:
+    """Real simulator, real engine, real backends."""
+
+    BUDGET = 6.0
+
+    def _sequential_reference(self, avis, per_dequeue, cache=None):
+        session = ExplorationSession(
+            runner=TestRunner(avis.config, monitor=avis.monitor),
+            budget=BudgetAccount(total_units=self.BUDGET),
+            profiling_run=avis.profiling_results[0],
+            suite=iris_sensor_suite(noise_seed=avis.config.noise_seed),
+            cache=cache,
+        )
+        AvisStrategy(max_scenarios_per_dequeue=per_dequeue).explore(session)
+        return session
+
+    @pytest.mark.parametrize("per_dequeue", [1, 4])
+    def test_pool_campaign_matches_sequential(self, short_auto_config, per_dequeue):
+        backend = ProcessPoolBackend(max_workers=4)
+        try:
+            avis = Avis(
+                short_auto_config,
+                profiling_runs=2,
+                budget_units=self.BUDGET,
+                backend=backend,
+            )
+            avis.profile()
+            batched = avis.check(
+                strategy=AvisStrategy(max_scenarios_per_dequeue=per_dequeue)
+            )
+
+            reference = Avis(
+                short_auto_config, profiling_runs=2, budget_units=self.BUDGET
+            )
+            reference.profile()
+            sequential = self._sequential_reference(
+                reference, per_dequeue, cache=reference.cache
+            )
+
+            assert [str(r.scenario) for r in batched.results] == [
+                str(r.scenario) for r in sequential.results
+            ]
+            assert [r.found_unsafe_condition for r in batched.results] == [
+                r.found_unsafe_condition for r in sequential.results
+            ]
+            assert batched.simulations == sequential.budget.simulations
+            assert batched.budget_spent == pytest.approx(
+                sequential.budget.spent_units
+            )
+            # The found-bug set and the Table IV per-mode counts agree.
+            sequential_bugs = set()
+            for result in sequential.unsafe_results:
+                sequential_bugs.update(result.triggered_bugs)
+            assert batched.triggered_bug_ids == sequential_bugs
+            # Cache keys are content-addressed, so equality states that
+            # the very same (config, scenario) pairs were simulated.
+            assert avis.cache.keys() == reference.cache.keys()
+            # The batched path really batched (several scenarios per
+            # round, executed through the backend).
+            stats = avis.engine.last_stats
+            assert stats["rounds"] >= 1
+            assert stats["proposed"] == batched.simulations
+            if per_dequeue > 1:
+                assert stats["rounds"] < batched.simulations
+        finally:
+            backend.close()
+
+    def test_fleet_pool_campaign_matches_serial(self):
+        config = RunConfiguration(
+            firmware_class=ArduPilotFirmware,
+            workload_factory=lambda: MultiPadTakeoffLandWorkload(fleet_size=2),
+            fleet_size=2,
+            max_sim_time_s=160.0,
+        )
+
+        def campaign(backend):
+            avis = Avis(
+                config, profiling_runs=2, budget_units=4.0, backend=backend
+            )
+            avis.profile()
+            result = avis.check(
+                strategy=AvisStrategy(max_scenarios_per_dequeue=4)
+            )
+            return result, avis.cache.keys()
+
+        serial_result, serial_keys = campaign(SerialBackend())
+        pool = ProcessPoolBackend(max_workers=4)
+        try:
+            pool_result, pool_keys = campaign(pool)
+        finally:
+            pool.close()
+
+        assert [str(r.scenario) for r in pool_result.results] == [
+            str(r.scenario) for r in serial_result.results
+        ]
+        assert pool_result.per_mode_counts == serial_result.per_mode_counts
+        assert pool_result.triggered_bug_ids == serial_result.triggered_bug_ids
+        assert pool_result.budget_spent == serial_result.budget_spent
+        assert pool_keys == serial_keys
+
+    def test_engine_reports_per_mode_counts_identically(self, short_auto_config):
+        """per_mode_counts is derived from result order; one more guard
+        that batched recording preserves it."""
+        avis = Avis(short_auto_config, profiling_runs=2, budget_units=self.BUDGET)
+        avis.profile()
+        batched = avis.check(strategy=AvisStrategy(max_scenarios_per_dequeue=4))
+        reference = Avis(
+            short_auto_config, profiling_runs=2, budget_units=self.BUDGET
+        )
+        reference.profile()
+        sequential = self._sequential_reference(reference, 4)
+        expected = {"takeoff": 0, "manual": 0, "waypoint": 0, "land": 0}
+        from repro.core.monitor import mode_category_of
+
+        for result in sequential.results:
+            if result.found_unsafe_condition:
+                category = mode_category_of(result.unsafe_conditions[0])
+                expected[category] = expected.get(category, 0) + 1
+        assert batched.per_mode_counts == expected
