@@ -1,6 +1,7 @@
-"""Engine scaling: worker-count, fleet-size, and batched-SABRE axes.
+"""Engine scaling: worker-count, fleet-size, traffic-fault and
+batched-SABRE axes.
 
-Three scaling axes are measured and written to ``BENCH_engine.json``
+Four scaling axes are measured and written to ``BENCH_engine.json``
 next to the repository root:
 
 * **Workers** -- a fixed, seeded 32-scenario campaign (the same
@@ -12,6 +13,10 @@ next to the repository root:
   the multi-pad fleet workload at fleet sizes 2 and 3, recording
   seconds per simulation so the cost of hosting more vehicles per run
   is tracked over time.
+* **Traffic faults** -- a fixed batch of coordination-fault scenarios
+  (beacon dropout/freeze on the lead) flown by the beacon-driven
+  convoy, so the cost of the traffic channel plus the longest-running
+  fleet workload is tracked over time.
 * **SABRE** -- the paper's headline strategy run as a full (profiled,
   budgeted) campaign through the batch protocol: serial backend versus
   a 4-worker pool at the recorded ``per_dequeue``, with the two
@@ -41,16 +46,22 @@ from repro.core.config import RunConfiguration
 from repro.core.strategies import AvisStrategy
 from repro.engine.backends import ProcessPoolBackend, SerialBackend
 from repro.firmware.ardupilot import ArduPilotFirmware
-from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.hinj.faults import (
+    FaultScenario,
+    FaultSpec,
+    TrafficFaultKind,
+    TrafficFaultSpec,
+)
 from repro.sensors.base import SensorId, SensorType
 from repro.sensors.suite import iris_sensor_suite
 from repro.workloads.builtin import AutoWorkload
-from repro.workloads.fleet import MultiPadTakeoffLandWorkload
+from repro.workloads.fleet import ConvoyFollowWorkload, MultiPadTakeoffLandWorkload
 
 SCENARIO_COUNT = 32
 RNG_SEED = 17
 FLEET_SIZES = (2, 3)
 FLEET_SCENARIO_COUNT = 4
+TRAFFIC_SCENARIO_COUNT = 4
 SABRE_BUDGET = 10.0
 SABRE_PER_DEQUEUE = 4
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -156,6 +167,46 @@ def _measure_fleet_axis() -> dict:
     return axis
 
 
+def _traffic_config() -> RunConfiguration:
+    return RunConfiguration(
+        firmware_class=ArduPilotFirmware,
+        workload_factory=lambda: ConvoyFollowWorkload(),
+        fleet_size=2,
+        max_sim_time_s=160.0,
+    )
+
+
+def _traffic_scenarios() -> list:
+    """Coordination faults on the lead's beacons along the corridor."""
+    kinds = (TrafficFaultKind.DROPOUT, TrafficFaultKind.FREEZE)
+    return [
+        FaultScenario(
+            [TrafficFaultSpec(0, kinds[index % len(kinds)], 12.0 + 9.0 * index)]
+        )
+        for index in range(TRAFFIC_SCENARIO_COUNT)
+    ]
+
+
+def _measure_traffic_axis() -> dict:
+    """Seconds per simulation for traffic-fault convoy campaigns."""
+    config = _traffic_config()
+    scenarios = _traffic_scenarios()
+    started = time.perf_counter()
+    results = SerialBackend().run_scenarios(config, None, scenarios)
+    elapsed = time.perf_counter() - started
+    separations = [
+        r.min_separation_m for r in results if r.min_separation_m is not None
+    ]
+    return {
+        "workload": "convoy-follow",
+        "scenario_count": len(scenarios),
+        "wall_s": elapsed,
+        "seconds_per_simulation": elapsed / len(scenarios),
+        "min_separation_m": min(separations) if separations else None,
+        "traffic_injections": sum(len(r.traffic_injections) for r in results),
+    }
+
+
 def _sabre_campaign(backend):
     """One full batched-SABRE campaign; returns (campaign, wall seconds,
     engine round stats)."""
@@ -240,6 +291,7 @@ def test_engine_scaling(benchmark, capsys):
     assert signatures["workers4"] == signatures["serial"]
 
     fleet_axis = _measure_fleet_axis()
+    traffic_axis = _measure_traffic_axis()
     sabre_axis = _measure_sabre_axis()
 
     cpus = _usable_cpus()
@@ -260,6 +312,7 @@ def test_engine_scaling(benchmark, capsys):
             else None
         ),
         "fleet_scaling": fleet_axis,
+        "traffic": traffic_axis,
         "sabre": sabre_axis,
     }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -275,6 +328,10 @@ def test_engine_scaling(benchmark, capsys):
             print(f"  {label}    : {entry['wall_s']:.2f}s for "
                   f"{entry['scenario_count']} sims "
                   f"({entry['seconds_per_simulation']:.2f}s/sim)")
+        print(f"  traffic   : {traffic_axis['wall_s']:.2f}s for "
+              f"{traffic_axis['scenario_count']} sims "
+              f"({traffic_axis['seconds_per_simulation']:.2f}s/sim, "
+              f"{traffic_axis['traffic_injections']} injections)")
         print(f"  sabre     : {sabre_axis['serial_s']:.2f}s serial vs "
               f"{sabre_axis['pool_s']:.2f}s pooled "
               f"({sabre_axis['speedup_pool4']:.2f}x, "

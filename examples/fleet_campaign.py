@@ -5,9 +5,11 @@ Three stages, each building on the previous one:
 
 1. fly the two-vehicle convoy fault-free and show the calibrated
    minimum-separation invariant the profiling runs produce;
-2. inject a battery failure on the convoy lead mid-corridor: its
-   fail-safe return flies head-on through the follower's slot and the
-   monitor reports a ``separation`` unsafe condition;
+2. inject a battery failure on the convoy lead mid-corridor *plus* a
+   beacon dropout: the lead's fail-safe return flies head-on through
+   the slot the beacon-blind follower is holding, and the monitor
+   reports a ``separation`` unsafe condition (with live beacons the
+   follower retreats and the same battery failure stays separated);
 3. run a short SABRE campaign over the namespaced fleet fault space --
    the Python-API equivalent of
    ``python -m repro.engine --workload convoy --fleet-size 2``.
@@ -20,7 +22,12 @@ from __future__ import annotations
 from repro import Avis, RunConfiguration
 from repro.core.runner import TestRunner
 from repro.firmware.ardupilot import ArduPilotFirmware
-from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.hinj.faults import (
+    FaultScenario,
+    FaultSpec,
+    TrafficFaultKind,
+    TrafficFaultSpec,
+)
 from repro.sensors.base import SensorId, SensorType
 from repro.workloads.fleet import ConvoyFollowWorkload
 
@@ -45,10 +52,13 @@ def main() -> None:
     print(f"  calibrated threshold      : "
           f"{avis.monitor.separation_threshold_m:.2f} m")
 
-    print("\n2. A battery failure on the lead sends it back through the "
-          "follower:")
+    print("\n2. A battery failure plus a beacon dropout on the lead sends "
+          "it back through the beacon-blind follower:")
     scenario = FaultScenario(
-        [FaultSpec(SensorId(SensorType.BATTERY, 0, vehicle=0), 18.0)]
+        [
+            FaultSpec(SensorId(SensorType.BATTERY, 0, vehicle=0), 18.0),
+            TrafficFaultSpec(0, TrafficFaultKind.DROPOUT, 18.0),
+        ]
     )
     runner = TestRunner(config, monitor=avis.monitor)
     avis.monitor.begin_run()

@@ -33,10 +33,10 @@ Quickstart::
 """
 
 from repro.core.avis import Avis, CampaignResult
-from repro.core.config import RunConfiguration
+from repro.core.config import RunConfiguration, VehicleSpec
 from repro.core.monitor import InvariantMonitor, UnsafeCondition
 from repro.core.runner import RunResult, TestRunner
-from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.hinj.faults import FaultScenario, FaultSpec, TrafficFaultSpec
 
 __version__ = "1.0.0"
 
@@ -49,6 +49,8 @@ __all__ = [
     "RunConfiguration",
     "RunResult",
     "TestRunner",
+    "TrafficFaultSpec",
     "UnsafeCondition",
+    "VehicleSpec",
     "__version__",
 ]

@@ -22,7 +22,7 @@ Figure 4 of the paper:
 """
 
 from repro.core.avis import Avis, CampaignResult
-from repro.core.config import RunConfiguration
+from repro.core.config import RunConfiguration, VehicleSpec
 from repro.core.monitor import InvariantMonitor, UnsafeCondition, UnsafeConditionKind
 from repro.core.runner import RunResult, SimulationHarness, TestRunner
 from repro.core.sabre import SabreSearch
@@ -52,4 +52,5 @@ __all__ = [
     "TestRunner",
     "UnsafeCondition",
     "UnsafeConditionKind",
+    "VehicleSpec",
 ]

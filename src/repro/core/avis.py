@@ -27,6 +27,7 @@ from repro.core.strategies import AvisStrategy, SearchStrategy
 from repro.engine.backends import ExecutionBackend
 from repro.engine.cache import ResultCache
 from repro.engine.campaign import DEFAULT_BATCH_SIZE, CampaignEngine
+from repro.hinj.faults import default_traffic_failures
 from repro.sensors.suite import iris_sensor_suite
 
 
@@ -115,13 +116,26 @@ class Avis:
         labelling_cost: float = 0.15,
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[ResultCache] = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size=DEFAULT_BATCH_SIZE,
+        traffic_faults: bool = False,
     ) -> None:
         self._config = config
         self._profiling_run_count = max(profiling_runs, 1)
         self._budget_units = budget_units
         self._simulation_cost = simulation_cost
         self._labelling_cost = labelling_cost
+        # Opt-in coordination fault space: one handle per (vehicle,
+        # fault kind), offered to strategies through the session.
+        if traffic_faults and config.fleet_size < 2:
+            # A single vehicle has no inter-vehicle channel; silently
+            # running a sensor-only campaign would misrepresent coverage.
+            raise ValueError(
+                "traffic_faults=True needs a fleet (fleet_size >= 2): a "
+                "single-vehicle campaign has no inter-vehicle channel to fault"
+            )
+        self._traffic_failures = (
+            default_traffic_failures(config.fleet_size) if traffic_faults else []
+        )
         # A per-orchestrator cache by default: compare() runs several
         # strategies over the same fault space, so overlapping scenarios
         # are only ever simulated once.
@@ -212,6 +226,7 @@ class Avis:
             profiling_run=profiles[0],
             suite=iris_sensor_suite(noise_seed=self._config.noise_seed),
             cache=self._cache,
+            traffic_failures=self._traffic_failures,
         )
         self._engine.execute(strategy, session)
         return CampaignResult(

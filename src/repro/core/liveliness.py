@@ -337,15 +337,23 @@ class LivelinessMonitor:
         return violations
 
     def _check_safe_mode_progress(self, result: RunResult) -> List[LivelinessViolation]:
+        """Safe-mode progress over the lead trace (see
+        :meth:`check_safe_mode_progress`)."""
+        return self.check_safe_mode_progress(result.trace)
+
+    def check_safe_mode_progress(
+        self, samples: List[TraceSample]
+    ) -> List[LivelinessViolation]:
         """Additional invariants for safe modes (Section IV-C-2).
 
         A vehicle in the land mode must keep descending; a vehicle in the
         return-to-launch mode must keep approaching home (or climbing to
         its return altitude).  Violations of these are how fly-aways that
-        hide inside a fail-safe mode are caught.
+        hide inside a fail-safe mode are caught.  The rule is calibration
+        free, so it applies to any vehicle's trace -- fleet followers
+        included.
         """
         violations: List[LivelinessViolation] = []
-        samples = result.trace
         if len(samples) < 2:
             return violations
         sample_period = samples[1].time - samples[0].time

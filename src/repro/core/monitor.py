@@ -155,6 +155,7 @@ class InvariantMonitor:
             min_position_scale=min_position_scale,
         )
         self._progress_tracker: Optional[_OnlineProgressTracker] = None
+        self._vehicle_trackers: Dict[int, _OnlineProgressTracker] = {}
         if min_separation_m is not None:
             self._separation_threshold: Optional[float] = min_separation_m
         else:
@@ -206,6 +207,7 @@ class InvariantMonitor:
     def begin_run(self) -> None:
         """Reset per-run state before a new run starts."""
         self._progress_tracker = _OnlineProgressTracker(self._liveliness)
+        self._vehicle_trackers = {}
 
     def check_sample(self, sample: TraceSample) -> Optional[UnsafeCondition]:
         """Check one trace sample while the run is executing.
@@ -222,6 +224,41 @@ class InvariantMonitor:
             return None
         return self._from_liveliness(violation)
 
+    def check_vehicle_sample(
+        self, vehicle: int, sample: TraceSample
+    ) -> Optional[UnsafeCondition]:
+        """Check one fleet member's trace sample while the run executes.
+
+        Vehicle 0 (the lead) gets the full online treatment of
+        :meth:`check_sample`.  Followers fly a different mode sequence
+        than the profiled lead, so Equation 1 would false-alarm on them;
+        they stream only through the calibration-free safe-mode progress
+        windows -- which is exactly what catches a coordination fault
+        that strands a follower inside a fail-safe.  Follower violations
+        carry a vehicle-namespaced mode label (``v1:rtl``).
+        """
+        if vehicle == 0:
+            return self.check_sample(sample)
+        tracker = self._vehicle_trackers.get(vehicle)
+        if tracker is None:
+            tracker = _OnlineProgressTracker(self._liveliness)
+            self._vehicle_trackers[vehicle] = tracker
+        violation = tracker.observe(sample)
+        if violation is None:
+            return None
+        return self._namespaced(self._from_liveliness(violation), vehicle)
+
+    @staticmethod
+    def _namespaced(condition: UnsafeCondition, vehicle: int) -> UnsafeCondition:
+        """A follower's condition, labelled with its fleet index -- the
+        one format shared by online streaming and offline evaluation."""
+        return UnsafeCondition(
+            kind=condition.kind,
+            time=condition.time,
+            mode_label=f"v{vehicle}:{condition.mode_label}",
+            description=f"vehicle {vehicle}: {condition.description}",
+        )
+
     # ------------------------------------------------------------------
     # Offline evaluation
     # ------------------------------------------------------------------
@@ -229,18 +266,27 @@ class InvariantMonitor:
         """Evaluate a completed run against every rule.
 
         Scope note for fleet runs: safety (collisions, firmware crashes)
-        and separation cover every vehicle, but the liveliness windows
-        are calibrated from -- and evaluated against -- the lead's
-        trace only; follower workload labels follow a different mode
-        sequence than the profiled one, so judging them against the
-        lead's calibration would produce false alarms.  Per-vehicle
-        liveliness calibration is a roadmap follow-on.
+        and separation cover every vehicle.  Equation-1 liveliness is
+        calibrated from -- and evaluated against -- the lead's trace
+        only: follower workload labels follow a different mode sequence
+        than the profiled one, so judging them against the lead's
+        calibration would produce false alarms.  The calibration-free
+        safe-mode progress windows, however, cover every vehicle:
+        follower traces are checked with vehicle-namespaced labels,
+        matching the online streaming in :meth:`check_vehicle_sample`.
         """
         conditions: List[UnsafeCondition] = []
         for violation in self._safety.evaluate(result):
             conditions.append(self._from_safety(violation))
         for violation in self._liveliness.evaluate(result):
             conditions.append(self._from_liveliness(violation))
+        for vehicle, samples in sorted(result.vehicle_traces.items()):
+            if vehicle == 0:
+                continue  # the lead is covered by the full evaluation above
+            for violation in self._liveliness.check_safe_mode_progress(samples):
+                conditions.append(
+                    self._namespaced(self._from_liveliness(violation), vehicle)
+                )
         conditions.extend(self._evaluate_separation(result))
         return sorted(conditions, key=lambda condition: condition.time)
 

@@ -20,7 +20,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.hinj.faults import FaultScenario, FaultSpec, TrafficFaultSpec
 from repro.sensors.base import SensorId, SensorRole, SensorType
 
 
@@ -38,6 +38,14 @@ def symmetry_signature(
     """The role-based canonical form of a scenario."""
     counts: Counter = Counter()
     for fault in scenario:
+        if isinstance(fault, TrafficFaultSpec):
+            # A coordination fault has no redundancy group: each
+            # (vehicle, kind) is its own singleton, so only exact
+            # duplicates are symmetric.
+            counts[
+                (fault.vehicle, fault.label, "channel", fault.start_time)
+            ] += 1
+            continue
         role = role_of(fault.sensor_id)
         counts[
             (

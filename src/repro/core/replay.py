@@ -15,7 +15,13 @@ from typing import List, Optional, Tuple
 from repro.core.config import RunConfiguration
 from repro.core.monitor import InvariantMonitor
 from repro.core.runner import RunResult, TestRunner
-from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.hinj.faults import (
+    FailureHandle,
+    FaultScenario,
+    TrafficFailure,
+    failure_label,
+    spec_for,
+)
 from repro.sensors.base import SensorId
 
 
@@ -23,7 +29,9 @@ from repro.sensors.base import SensorId
 class AnchoredFault:
     """A fault expressed relative to an operating-mode transition."""
 
-    sensor_id: SensorId
+    #: The failed thing: a sensor instance, or a traffic-channel handle
+    #: for coordination faults.
+    failure: FailureHandle
     #: Label of the operating mode the vehicle was entering (or in) when
     #: the fault was injected.
     anchor_label: str
@@ -32,6 +40,12 @@ class AnchoredFault:
     anchor_occurrence: int
     #: Seconds between the anchoring transition and the injection.
     offset_s: float
+
+    @property
+    def sensor_id(self) -> SensorId:
+        """The failed sensor instance (sensor-fault anchors only)."""
+        assert isinstance(self.failure, SensorId)
+        return self.failure
 
 
 @dataclass
@@ -45,7 +59,7 @@ class ReplayPlan:
         if not self.faults:
             return "no faults (golden run)"
         return "; ".join(
-            f"{fault.sensor_id.label} {fault.offset_s:.2f}s after entering "
+            f"{failure_label(fault.failure)} {fault.offset_s:.2f}s after entering "
             f"'{fault.anchor_label}' (occurrence {fault.anchor_occurrence})"
             for fault in self.faults
         )
@@ -65,27 +79,46 @@ class ReplayOutcome:
         return self.replay.found_unsafe_condition
 
 
+def _anchor(
+    transitions, failure: FailureHandle, injected_time: float
+) -> AnchoredFault:
+    anchor_label = "preflight"
+    anchor_time = 0.0
+    occurrence = 0
+    occurrences: dict = {}
+    for transition in transitions:
+        occurrences[transition.label] = occurrences.get(transition.label, 0) + 1
+        if transition.time <= injected_time:
+            anchor_label = transition.label
+            anchor_time = transition.time
+            occurrence = occurrences[transition.label]
+    return AnchoredFault(
+        failure=failure,
+        anchor_label=anchor_label,
+        anchor_occurrence=max(occurrence, 1),
+        offset_s=injected_time - anchor_time,
+    )
+
+
 def build_replay_plan(result: RunResult) -> ReplayPlan:
-    """Anchor each injected fault of ``result`` to its mode transition."""
+    """Anchor each injected fault of ``result`` to its mode transition.
+
+    Sensor injections come from the per-vehicle schedulers' logs;
+    coordination faults come from the traffic channel's injection log --
+    both anchor to the lead's mode transitions, so a replayed scenario
+    carries the complete fault set.
+    """
     faults: List[AnchoredFault] = []
     transitions = result.mode_transitions
     for record in result.injections:
-        anchor_label = "preflight"
-        anchor_time = 0.0
-        occurrence = 0
-        occurrences: dict = {}
-        for transition in transitions:
-            occurrences[transition.label] = occurrences.get(transition.label, 0) + 1
-            if transition.time <= record.injected_time:
-                anchor_label = transition.label
-                anchor_time = transition.time
-                occurrence = occurrences[transition.label]
+        faults.append(_anchor(transitions, record.sensor_id, record.injected_time))
+    for traffic_record in result.traffic_injections:
+        fault = traffic_record.fault
         faults.append(
-            AnchoredFault(
-                sensor_id=record.sensor_id,
-                anchor_label=anchor_label,
-                anchor_occurrence=max(occurrence, 1),
-                offset_s=record.injected_time - anchor_time,
+            _anchor(
+                transitions,
+                TrafficFailure(fault.vehicle, fault.kind, fault.extra_delay_s),
+                traffic_record.injected_time,
             )
         )
     return ReplayPlan(faults=faults)
@@ -98,7 +131,7 @@ def resolve_plan(plan: ReplayPlan, reference: RunResult) -> FaultScenario:
     anchoring each fault to the same labelled transition absorbs the small
     timing differences between runs.
     """
-    specs: List[FaultSpec] = []
+    specs = []
     for fault in plan.faults:
         anchor_time: Optional[float] = None
         seen = 0
@@ -112,7 +145,7 @@ def resolve_plan(plan: ReplayPlan, reference: RunResult) -> FaultScenario:
             # The reference run never entered the anchoring mode; fall back
             # to the start of the mission so the fault is still injected.
             anchor_time = 0.0
-        specs.append(FaultSpec(fault.sensor_id, max(anchor_time + fault.offset_s, 0.0)))
+        specs.append(spec_for(fault.failure, max(anchor_time + fault.offset_s, 0.0)))
     return FaultScenario(specs)
 
 

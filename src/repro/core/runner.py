@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import RunConfiguration
+from repro.core.config import RunConfiguration, VehicleSpec
 from repro.firmware.base import ControlFirmware
 from repro.firmware.modes import FlightMode
 from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario
@@ -31,6 +31,7 @@ from repro.hinj.instrumentation import HinjInterface, ModeTransition
 from repro.hinj.scheduler import FaultScheduler, InjectionRecord
 from repro.mavlink.gcs import GroundControlStation, TelemetrySnapshot
 from repro.mavlink.link import MavLink
+from repro.mavlink.traffic import TrafficBeacon, TrafficChannel, TrafficInjectionRecord
 from repro.sensors.suite import SensorSuite, iris_sensor_suite
 from repro.sim.environment import GeoLocation
 from repro.sim.simulator import CollisionEvent, ProximityEvent, Simulator
@@ -121,6 +122,12 @@ class RunResult:
     #: Per-vehicle firmware liveness (empty for classic runs, where
     #: ``firmware_process_alive`` already tells the whole story).
     vehicle_firmware_alive: Dict[int, bool] = field(default_factory=dict)
+    #: Coordination faults the traffic channel actually applied (fleet
+    #: runs with scheduled traffic faults only).
+    traffic_injections: List[TrafficInjectionRecord] = field(default_factory=list)
+    #: Per-vehicle firmware flavour names (empty for classic runs;
+    #: heterogeneous fleets record each member's flavour here).
+    vehicle_firmware_names: Dict[int, str] = field(default_factory=dict)
     #: Filled in by the invariant monitor.
     unsafe_conditions: List = field(default_factory=list)
 
@@ -191,6 +198,7 @@ class _VehicleUnit:
         pad_offset: Tuple[float, float] = (0.0, 0.0),
     ) -> None:
         self.vehicle = vehicle
+        self.spec: VehicleSpec = config.vehicle_spec(vehicle)
         noise_seed = config.noise_seed + vehicle * FLEET_NOISE_SEED_STRIDE
         self.suite: SensorSuite = iris_sensor_suite(noise_seed=noise_seed)
         self.scheduler = FaultScheduler(scenario.vehicle_view(vehicle))
@@ -200,7 +208,7 @@ class _VehicleUnit:
 
         firmware_kwargs = dict(
             suite=self.suite,
-            airframe=config.airframe,
+            airframe=self.spec.airframe,
             environment=environment,
             link=self.link,
             hinj=self.hinj,
@@ -210,9 +218,9 @@ class _VehicleUnit:
             # Vehicle 0 never receives the kwarg, so classic runs keep
             # working with firmware classes that predate fleet support.
             firmware_kwargs["initial_hold_point"] = pad_offset
-        if config.firmware_params is not None:
-            firmware_kwargs["params"] = config.firmware_params
-        self.firmware: ControlFirmware = config.firmware_class(**firmware_kwargs)
+        if self.spec.firmware_params is not None:
+            firmware_kwargs["params"] = self.spec.firmware_params
+        self.firmware: ControlFirmware = self.spec.firmware_class(**firmware_kwargs)
         for bug_id in config.reinserted_bugs:
             self.firmware.bug_registry.reinsert(bug_id)
         for bug_id in config.disabled_bugs:
@@ -278,9 +286,53 @@ class VehicleHandle:
         telemetry, like the paper's framework)."""
         return self._harness.simulator.state_of(self._vehicle)
 
-    def set_guided_target(self, north: float, east: float, altitude: float) -> None:
+    @property
+    def firmware_name(self) -> str:
+        """This vehicle's firmware flavour name."""
+        return self._unit.firmware.name
+
+    # Heterogeneous fleets: mode-name strings are flavour-specific, so a
+    # PX4 wing must be commanded with its own table, not the lead's.
+    @property
+    def auto_mode_name(self) -> str:
+        """This flavour's SET_MODE string for the mission mode."""
+        return self._unit.firmware.mode_name_for(FlightMode.AUTO)
+
+    @property
+    def guided_mode_name(self) -> str:
+        """This flavour's SET_MODE string for the guided mode."""
+        return self._unit.firmware.mode_name_for(FlightMode.GUIDED)
+
+    @property
+    def position_hold_mode_name(self) -> str:
+        """This flavour's SET_MODE string for the position-hold mode."""
+        return self._unit.firmware.mode_name_for(FlightMode.POSHOLD)
+
+    @property
+    def land_mode_name(self) -> str:
+        """This flavour's SET_MODE string for the land mode."""
+        return self._unit.firmware.mode_name_for(FlightMode.LAND)
+
+    def traffic_view(self, sender: int) -> Optional[TrafficBeacon]:
+        """This vehicle's latest received beacon from fleet member
+        ``sender`` (None before the first delivery, or for classic runs
+        without a traffic channel)."""
+        channel = self._harness.traffic
+        if channel is None:
+            return None
+        return channel.latest(self._vehicle, sender)
+
+    def set_guided_target(
+        self,
+        north: float,
+        east: float,
+        altitude: float,
+        speed_limit: Optional[float] = None,
+    ) -> None:
         """Forward a guided target (offsets from home) to this firmware."""
-        self._unit.firmware.set_guided_target(north, east, altitude)
+        self._unit.firmware.set_guided_target(
+            north, east, altitude, speed_limit=speed_limit
+        )
 
 
 class SimulationHarness:
@@ -312,6 +364,7 @@ class SimulationHarness:
             fleet_size=config.fleet_size,
             pad_spacing_m=config.fleet_pad_spacing_m,
             proximity_threshold_m=separation_threshold,
+            airframes=[spec.airframe for spec in config.vehicle_specs],
         )
         self._units: List[_VehicleUnit] = [
             _VehicleUnit(
@@ -323,6 +376,19 @@ class SimulationHarness:
             )
             for vehicle in range(config.fleet_size)
         ]
+
+        # The inter-vehicle traffic channel: the only path one fleet
+        # member's view of another takes, and the injection surface of
+        # the coordination fault family.  Classic runs have no traffic.
+        self.traffic: Optional[TrafficChannel] = None
+        if config.fleet_size > 1:
+            self.traffic = TrafficChannel(
+                fleet_size=config.fleet_size,
+                dt=config.dt,
+                beacon_interval_s=config.traffic_beacon_interval_s,
+                latency_s=config.traffic_latency_s,
+                faults=scenario.traffic_faults,
+            )
 
         # Classic single-vehicle aliases (vehicle 0, the lead).
         lead = self._units[0]
@@ -384,32 +450,32 @@ class SimulationHarness:
     @property
     def auto_mode_name(self) -> str:
         """Flavour-specific SET_MODE string for the mission mode."""
-        return self._mode_name_for(FlightMode.AUTO)
+        return self.firmware.mode_name_for(FlightMode.AUTO)
 
     @property
     def guided_mode_name(self) -> str:
         """Flavour-specific SET_MODE string for the guided mode."""
-        return self._mode_name_for(FlightMode.GUIDED)
+        return self.firmware.mode_name_for(FlightMode.GUIDED)
 
     @property
     def position_hold_mode_name(self) -> str:
         """Flavour-specific SET_MODE string for the position-hold mode."""
-        return self._mode_name_for(FlightMode.POSHOLD)
+        return self.firmware.mode_name_for(FlightMode.POSHOLD)
 
     @property
     def land_mode_name(self) -> str:
         """Flavour-specific SET_MODE string for the land mode."""
-        return self._mode_name_for(FlightMode.LAND)
+        return self.firmware.mode_name_for(FlightMode.LAND)
 
-    def _mode_name_for(self, mode: FlightMode) -> str:
-        for name, value in self.firmware.mode_name_table.items():
-            if value == mode:
-                return name
-        return mode.value.upper()
-
-    def set_guided_target(self, north: float, east: float, altitude: float) -> None:
+    def set_guided_target(
+        self,
+        north: float,
+        east: float,
+        altitude: float,
+        speed_limit: Optional[float] = None,
+    ) -> None:
         """Forward a guided target to the lead firmware."""
-        self.firmware.set_guided_target(north, east, altitude)
+        self.firmware.set_guided_target(north, east, altitude, speed_limit=speed_limit)
 
     def should_abort(self) -> bool:
         """True when the workload should stop stepping."""
@@ -429,6 +495,17 @@ class SimulationHarness:
                 )
                 commands.append(unit.firmware.update(readings, self.time))
             self.simulator.step_fleet(commands)
+            if self.traffic is not None:
+                self.traffic.advance()
+                if self.traffic.beacon_due():
+                    for unit in self._units:
+                        state = self.simulator.state_of(unit.vehicle)
+                        self.traffic.broadcast(
+                            unit.vehicle,
+                            time=self.time,
+                            position=state.position,
+                            velocity=state.velocity,
+                        )
             self._steps += 1
             if self._steps % self._sample_interval == 0:
                 self._record_sample()
@@ -468,14 +545,27 @@ class SimulationHarness:
                     self._abort = True
         for unit in self._units[1:]:
             vehicle = unit.vehicle
-            self._traces[vehicle].append(
-                TraceSample.from_state(
-                    index=len(self._traces[vehicle]),
-                    state=self.simulator.state_of(vehicle),
-                    mode_label=unit.firmware.operating_mode_label,
-                    vehicle=vehicle,
-                )
+            follower_sample = TraceSample.from_state(
+                index=len(self._traces[vehicle]),
+                state=self.simulator.state_of(vehicle),
+                mode_label=unit.firmware.operating_mode_label,
+                vehicle=vehicle,
             )
+            self._traces[vehicle].append(follower_sample)
+            # Per-vehicle online liveliness: follower samples stream
+            # through the safe-mode progress windows, so a coordination
+            # fault that strands a follower inside a fail-safe is caught
+            # while the run executes, not only by the offline checks.
+            if self._monitor is not None and hasattr(
+                self._monitor, "check_vehicle_sample"
+            ):
+                violation = self._monitor.check_vehicle_sample(
+                    vehicle, follower_sample
+                )
+                if violation is not None:
+                    self._unsafe_found = True
+                    if self._config.stop_on_unsafe:
+                        self._abort = True
 
     # ------------------------------------------------------------------
     # Result assembly
@@ -524,6 +614,11 @@ class SimulationHarness:
             result.vehicle_firmware_alive = {
                 unit.vehicle: unit.firmware.process_alive for unit in self._units
             }
+            result.vehicle_firmware_names = {
+                unit.vehicle: unit.firmware.name for unit in self._units
+            }
+            if self.traffic is not None:
+                result.traffic_injections = self.traffic.injections
         return result
 
 

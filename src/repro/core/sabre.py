@@ -18,6 +18,24 @@ in a fairer order across transitions, which matters when the simulation
 budget is far smaller than the paper's two hours.  The default campaign
 uses a bound of 8.
 
+Two fleet extensions, both off by default so classic campaigns are
+untouched:
+
+* The ``failures`` sequence accepts any
+  :data:`~repro.hinj.faults.FailureHandle` -- sensor instances and
+  traffic-channel handles alike -- so the coordination fault family
+  (beacon dropout/freeze/delay) is explored exactly like sensor
+  failures.
+* ``separation_aware=True`` replaces the FIFO dequeue with a weighted
+  one: each queue entry's injection window is scored by the minimum
+  pairwise fleet separation the profiling run exhibited inside that
+  mode window, and the tightest-geometry window is dequeued first
+  (ties in FIFO order).  Takeoff, formation joins and return legs are
+  probed before wide-open cruise, which measurably shortens the path
+  to the first separation violation.  The weighting engages only when
+  the profiling run carries fleet separation data; otherwise -- and for
+  every single-vehicle campaign -- the queue is bit-identical FIFO.
+
 Batched exploration
 -------------------
 
@@ -75,7 +93,13 @@ from typing import (
 
 from repro.core.pruning import RedundancyPruner
 from repro.core.session import ExplorationSession
-from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario, FaultSpec
+from repro.hinj.faults import (
+    EMPTY_SCENARIO,
+    FailureHandle,
+    FaultScenario,
+    FaultSpec,
+    spec_for,
+)
 from repro.sensors.base import SensorId
 
 
@@ -112,11 +136,12 @@ class SabreSearch:
     def __init__(
         self,
         session: ExplorationSession,
-        failures: Optional[Sequence[SensorId]] = None,
+        failures: Optional[Sequence[FailureHandle]] = None,
         max_concurrent_failures: int = 2,
         time_quantum_s: float = 1.0,
         max_scenarios_per_dequeue: Optional[int] = None,
         pruner: Optional[RedundancyPruner] = None,
+        separation_aware: bool = False,
     ) -> None:
         self._session = session
         self._failures = list(failures) if failures is not None else list(session.sensor_ids)
@@ -132,6 +157,16 @@ class SabreSearch:
         )
         self._subsets = self._enumerate_subsets()
         self.report = SabreReport()
+        # --- separation-aware dequeue ordering ------------------------
+        # Weighted dequeue only engages when asked for AND the profiling
+        # run carries fleet separation data; otherwise the queue is the
+        # exact FIFO of Algorithm 1 (bit-identical to every pre-feature
+        # campaign).
+        self._separation_profile = (
+            self._build_separation_profile() if separation_aware else []
+        )
+        self._separation_aware = bool(self._separation_profile)
+        self._separation_weights: dict = {}
         # --- proposal-machine state -----------------------------------
         self._queue: Optional[Deque[_QueueEntry]] = None
         self._visit_entry: Optional[_QueueEntry] = None
@@ -144,25 +179,28 @@ class SabreSearch:
     # ------------------------------------------------------------------
     # Subset enumeration (the PowerSet of line 5, smallest subsets first)
     # ------------------------------------------------------------------
-    def _enumerate_subsets(self) -> List[Tuple[SensorId, ...]]:
+    def _enumerate_subsets(self) -> List[Tuple[FailureHandle, ...]]:
         """Failure subsets ordered smallest-and-most-informative first.
 
         Singletons precede pairs; within a size, subsets failing primary
         instances precede those failing backups (failing an idle backup
         rarely changes behaviour, so it is the least informative probe).
+        Coordination failure handles have no redundancy role and count
+        as primaries.
         """
-        subsets: List[Tuple[SensorId, ...]] = []
+        subsets: List[Tuple[FailureHandle, ...]] = []
         for size in range(1, self._max_concurrent + 1):
             for combo in itertools.combinations(self._failures, size):
                 subsets.append(combo)
 
-        def backup_count(subset: Tuple[SensorId, ...]) -> int:
+        def backup_count(subset: Tuple[FailureHandle, ...]) -> int:
             from repro.sensors.base import SensorRole
 
             return sum(
                 1
                 for sensor_id in subset
-                if self._session.sensor_role(sensor_id) == SensorRole.BACKUP
+                if isinstance(sensor_id, SensorId)
+                and self._session.sensor_role(sensor_id) == SensorRole.BACKUP
             )
 
         subsets.sort(
@@ -175,9 +213,16 @@ class SabreSearch:
         return subsets
 
     @property
-    def subsets(self) -> List[Tuple[SensorId, ...]]:
+    def subsets(self) -> List[Tuple[FailureHandle, ...]]:
         """The ordered failure subsets considered at each injection point."""
         return list(self._subsets)
+
+    @property
+    def separation_aware(self) -> bool:
+        """True when the weighted (tightest-geometry-first) dequeue is
+        active -- it engages only when requested *and* the profiling run
+        carries fleet separation data."""
+        return self._separation_aware
 
     @property
     def pruner(self) -> RedundancyPruner:
@@ -198,6 +243,97 @@ class SabreSearch:
     def finished(self) -> bool:
         """True once the queue or the budget has been exhausted."""
         return self._finished
+
+    # ------------------------------------------------------------------
+    # Separation-aware dequeue ordering
+    # ------------------------------------------------------------------
+    def _build_separation_profile(self) -> List[Tuple[float, float]]:
+        """(time, min pairwise separation) samples from the profiling run.
+
+        Built from the per-vehicle traces the fleet harness records;
+        empty for single-vehicle profiles, which leaves the feature
+        inert.  Only samples with at least two airborne vehicles count:
+        vehicles parked on their pads are not traffic.
+        """
+        import math
+
+        profile = self._session.profiling_run
+        traces = getattr(profile, "vehicle_traces", None)
+        if not traces or len(traces) < 2:
+            return []
+        samples: List[Tuple[float, float]] = []
+        length = min(len(trace) for trace in traces.values())
+        ordered = [traces[vehicle] for vehicle in sorted(traces)]
+        for index in range(length):
+            airborne = [
+                trace[index].position
+                for trace in ordered
+                if not trace[index].on_ground
+            ]
+            if len(airborne) < 2:
+                continue
+            separation = min(
+                math.dist(airborne[a], airborne[b])
+                for a in range(len(airborne))
+                for b in range(a + 1, len(airborne))
+            )
+            samples.append((ordered[0][index].time, separation))
+        return samples
+
+    def _window_separation(self, timestamp: float) -> float:
+        """The tightest profiled separation in the mode window opened at
+        ``timestamp``.
+
+        The window runs from the injection time to the next profiled
+        mode transition (or the mission end): a fault injected at ``t``
+        lands in the mode in effect until that boundary, so the whole
+        window's geometry is what the injection can perturb.  ``inf``
+        when the window never has an airborne pair -- an injection there
+        cannot tighten any fleet geometry.
+        """
+        weight = self._separation_weights.get(timestamp)
+        if weight is not None:
+            return weight
+        window_end = self._session.mission_duration
+        for transition_time in self._session.transition_times:
+            if transition_time > timestamp:
+                window_end = min(window_end, transition_time)
+                break
+        window_end = max(window_end, timestamp + self._time_quantum)
+        weight = min(
+            (
+                separation
+                for time, separation in self._separation_profile
+                if timestamp <= time <= window_end
+            ),
+            default=float("inf"),
+        )
+        self._separation_weights[timestamp] = weight
+        return weight
+
+    def _pop_entry(self) -> _QueueEntry:
+        """Dequeue the next transition entry.
+
+        Uniform SABRE pops FIFO (Algorithm 1).  Separation-aware SABRE
+        pops the entry whose injection window showed the tightest fleet
+        geometry during profiling, breaking ties in FIFO order -- so
+        takeoff, formation joins and crossings are explored before
+        wide-open cruise windows, and the ordering degenerates to FIFO
+        exactly when every window is equally tight.
+        """
+        assert self._queue is not None
+        if not self._separation_aware:
+            return self._queue.popleft()
+        best_index = 0
+        best_weight = self._window_separation(self._queue[0].timestamp)
+        for index in range(1, len(self._queue)):
+            weight = self._window_separation(self._queue[index].timestamp)
+            if weight < best_weight:
+                best_index = index
+                best_weight = weight
+        entry = self._queue[best_index]
+        del self._queue[best_index]
+        return entry
 
     # ------------------------------------------------------------------
     # The proposal machine
@@ -317,7 +453,7 @@ class SabreSearch:
                 if not session.budget.can_afford_simulation():
                     self._finished = True
                     break
-                entry = self._queue.popleft()
+                entry = self._pop_entry()
                 self._visit_entry = entry
                 self._visit_cursor = entry.cursor
                 self._visit_ran = 0
@@ -334,7 +470,7 @@ class SabreSearch:
                 continue
             subset = self._subsets[self._visit_cursor]
             scenario = entry.base.extended(
-                FaultSpec(sensor_id, entry.timestamp) for sensor_id in subset
+                spec_for(failure, entry.timestamp) for failure in subset
             )
             if self._depends_on_in_flight(scenario):
                 # Admission depends on an outcome still in flight: cut the

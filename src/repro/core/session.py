@@ -19,7 +19,12 @@ from typing import TYPE_CHECKING
 
 from repro.core.runner import RunResult, TestRunner
 from repro.firmware.modes import OperatingModeLabel
-from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario
+from repro.hinj.faults import (
+    EMPTY_SCENARIO,
+    FailureHandle,
+    FaultScenario,
+    TrafficFailure,
+)
 from repro.sensors.base import SensorId, SensorRole
 from repro.sensors.suite import SensorSuite, iris_sensor_suite
 
@@ -77,12 +82,14 @@ class ExplorationSession:
         profiling_run: RunResult,
         suite: Optional[SensorSuite] = None,
         cache: Optional["ResultCache"] = None,
+        traffic_failures: Optional[List[TrafficFailure]] = None,
     ) -> None:
         self._runner = runner
         self._budget = budget
         self._profiling_run = profiling_run
         self._suite = suite if suite is not None else iris_sensor_suite()
         self._cache = cache
+        self._traffic_failures = list(traffic_failures) if traffic_failures else []
         self._workload_fp: Optional[str] = None
         self._results: List[RunResult] = []
         self._explored: Dict[FaultScenario, RunResult] = {}
@@ -140,6 +147,24 @@ class ExplorationSession:
             for vehicle in range(fleet_size)
             for sensor_id in base_ids
         ]
+
+    @property
+    def traffic_failures(self) -> List["TrafficFailure"]:
+        """The coordination fault space opened to this session.
+
+        Empty by default: a session only explores the inter-vehicle
+        channel when the caller opted in (``Avis(traffic_faults=True)``
+        or an explicit ``traffic_failures`` list), so every classic and
+        homogeneous-fleet campaign keeps its exact pre-traffic fault
+        space and scenario sequence.
+        """
+        return list(self._traffic_failures)
+
+    @property
+    def injectable_failures(self) -> List[FailureHandle]:
+        """Every failure handle a strategy may schedule: the sensor
+        instances plus any opted-in coordination failures."""
+        return list(self.sensor_ids) + list(self._traffic_failures)
 
     def sensor_role(self, sensor_id: SensorId) -> SensorRole:
         """Role (primary/backup) of a sensor instance (any fleet member)."""

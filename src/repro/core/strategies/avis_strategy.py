@@ -7,7 +7,7 @@ from typing import List, Optional, Sequence
 from repro.core.sabre import SabreSearch
 from repro.core.session import ExplorationSession
 from repro.core.strategies.base import SearchStrategy, StrategyFeatures
-from repro.hinj.faults import FaultScenario
+from repro.hinj.faults import FailureHandle, FaultScenario
 from repro.sensors.base import SensorId
 
 
@@ -21,6 +21,13 @@ class AvisStrategy(SearchStrategy):
     rounds in the sequential order -- so a batched campaign is
     bit-identical to the sequential ``explore()`` loop at every budget
     (see :mod:`repro.core.sabre` for the machinery).
+
+    Fleet extensions (both default off, so classic campaigns are
+    untouched): ``include_traffic_faults`` adds the session's opted-in
+    coordination failures (beacon dropout/freeze/delay) to the fault
+    space alongside the sensor instances, and ``separation_aware``
+    switches the transition dequeue to tightest-profiled-geometry-first
+    ordering.
     """
 
     name = "avis"
@@ -32,24 +39,42 @@ class AvisStrategy(SearchStrategy):
 
     def __init__(
         self,
-        failures: Optional[Sequence[SensorId]] = None,
+        failures: Optional[Sequence[FailureHandle]] = None,
         max_concurrent_failures: int = 2,
         time_quantum_s: float = 1.0,
         max_scenarios_per_dequeue: Optional[int] = 6,
+        include_traffic_faults: bool = False,
+        separation_aware: bool = False,
     ) -> None:
         self._failures = failures
         self._max_concurrent = max_concurrent_failures
         self._time_quantum = time_quantum_s
         self._per_dequeue = max_scenarios_per_dequeue
+        self._include_traffic = include_traffic_faults
+        self._separation_aware = separation_aware
         self.last_search: Optional[SabreSearch] = None
 
     def _make_search(self, session: ExplorationSession) -> SabreSearch:
+        failures = self._failures
+        if self._include_traffic:
+            if failures is None:
+                failures = session.injectable_failures
+            else:
+                # An explicit failure list still gains the session's
+                # coordination handles (without duplicates): asking for
+                # traffic faults must never be silently ignored.
+                failures = list(failures) + [
+                    handle
+                    for handle in session.traffic_failures
+                    if handle not in failures
+                ]
         return SabreSearch(
             session=session,
-            failures=self._failures,
+            failures=failures,
             max_concurrent_failures=self._max_concurrent,
             time_quantum_s=self._time_quantum,
             max_scenarios_per_dequeue=self._per_dequeue,
+            separation_aware=self._separation_aware,
         )
 
     def explore(self, session: ExplorationSession) -> None:

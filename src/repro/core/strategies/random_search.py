@@ -16,7 +16,7 @@ from typing import List, Optional, Set
 
 from repro.core.session import ExplorationSession
 from repro.core.strategies.base import SearchStrategy, StrategyFeatures
-from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.hinj.faults import FaultScenario, spec_for
 
 
 class RandomInjection(SearchStrategy):
@@ -50,14 +50,20 @@ class RandomInjection(SearchStrategy):
             self._iterations = 0
 
     def _draw(self, session: ExplorationSession) -> FaultScenario:
-        """One seeded draw from the uniform (sensor set, time) distribution."""
-        sensors = session.sensor_ids
+        """One seeded draw from the uniform (failure set, time) distribution.
+
+        The draw pool is the session's injectable failure space: the
+        sensor instances, plus any opted-in coordination failures.  With
+        no traffic opt-in the pool -- and therefore the seeded draw
+        sequence -- is exactly the classic sensor-only one.
+        """
+        failures = session.injectable_failures
         duration = max(session.mission_duration, 1.0)
         count = self._rng.randint(1, self._max_concurrent)
-        chosen = self._rng.sample(sensors, min(count, len(sensors)))
+        chosen = self._rng.sample(failures, min(count, len(failures)))
         return FaultScenario(
-            FaultSpec(sensor_id, round(self._rng.uniform(0.0, duration), 2))
-            for sensor_id in chosen
+            spec_for(failure, round(self._rng.uniform(0.0, duration), 2))
+            for failure in chosen
         )
 
     def _iterations_left(self) -> bool:

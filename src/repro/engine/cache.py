@@ -28,7 +28,14 @@ from typing import Dict, List, Optional
 
 from repro.core.config import RunConfiguration
 from repro.core.runner import RunResult
-from repro.hinj.faults import FaultScenario
+from repro.hinj.faults import FaultScenario, FaultSpec
+
+#: Version of the cached-result schema.  Bumped whenever the recorded
+#: :class:`RunResult` payload or the fingerprint grammar changes shape
+#: (the heterogeneous-fleet refactor added per-vehicle specs and
+#: traffic-fault terms), so cache directories written by an older
+#: engine self-invalidate instead of serving structurally stale hits.
+CACHE_SCHEMA_VERSION = 2
 
 
 def config_fingerprint(config: RunConfiguration, workload_name: str) -> str:
@@ -60,6 +67,28 @@ def config_fingerprint(config: RunConfiguration, workload_name: str) -> str:
         # attribute unstamped entries to a bug registry.)
         parts.append(f"fleet_size={fleet_size!r}")
         parts.append(f"fleet_pad_spacing_m={config.fleet_pad_spacing_m!r}")
+        # Heterogeneous fleets render one term per vehicle; homogeneous
+        # fleets -- scalar aliases or explicit identical specs -- omit
+        # them, keeping the exact pre-VehicleSpec key format.
+        if getattr(config, "is_heterogeneous", False):
+            rendered = ";".join(
+                f"v{index}:firmware={spec.firmware_name},"
+                f"airframe={spec.airframe!r},params={spec.firmware_params!r}"
+                for index, spec in enumerate(config.vehicle_specs)
+            )
+            parts.append(f"vehicles=[{rendered}]")
+        # Traffic-channel timing shapes every beacon a fleet run records;
+        # render it only when it deviates from the dataclass defaults so
+        # existing fleet keys are unperturbed.
+        fields = RunConfiguration.__dataclass_fields__
+        defaults = (
+            fields["traffic_beacon_interval_s"].default,
+            fields["traffic_latency_s"].default,
+        )
+        interval = getattr(config, "traffic_beacon_interval_s", defaults[0])
+        latency = getattr(config, "traffic_latency_s", defaults[1])
+        if (interval, latency) != defaults:
+            parts.append(f"traffic={interval!r}/{latency!r}")
     return "|".join(parts)
 
 
@@ -121,10 +150,20 @@ def campaign_fingerprint(config: RunConfiguration, monitor=None) -> str:
 
 
 def scenario_fingerprint(scenario: FaultScenario) -> str:
-    """A canonical string for a fault scenario (sorted fault tuples)."""
-    return ";".join(
-        f"{fault.sensor_id.label}@{fault.start_time!r}" for fault in scenario
-    )
+    """A canonical string for a fault scenario (sorted fault tuples).
+
+    Sensor faults render exactly as before; coordination faults render
+    through their vehicle-namespaced labels (``traffic:v1:dropout``,
+    including the delay parameter for delayed beacons), so traffic-fault
+    scenarios can never collide with sensor-fault cache entries.
+    """
+    rendered = []
+    for fault in scenario:
+        label = (
+            fault.sensor_id.label if isinstance(fault, FaultSpec) else fault.label
+        )
+        rendered.append(f"{label}@{fault.start_time!r}")
+    return ";".join(rendered)
 
 
 def scenario_key(
@@ -146,10 +185,14 @@ def bug_registry_stamp() -> str:
     stale.  The stamp is a SHA-256 over the canonical rendering of every
     descriptor in both shipped flavours -- any registry edit changes it,
     and :class:`ResultCache` then invalidates the directory's entries.
+
+    The stamp also folds in :data:`CACHE_SCHEMA_VERSION`: schema-shape
+    changes (per-vehicle specs, traffic faults) invalidate pre-refactor
+    directories even when the bug registries are untouched.
     """
     from repro.firmware.bugs import ardupilot_bug_registry, px4_bug_registry
 
-    parts = []
+    parts = [f"schema:{CACHE_SCHEMA_VERSION}"]
     for flavour, registry in (
         ("ardupilot", ardupilot_bug_registry()),
         ("px4", px4_bug_registry()),

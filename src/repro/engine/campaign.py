@@ -43,24 +43,76 @@ from repro.engine.cache import (
 #: 4-worker pool busy, small enough that budget truncation stays tight.
 DEFAULT_BATCH_SIZE = 8
 
+#: Auto-tuning bounds, as multiples of the backend's worker count.
+AUTO_BATCH_MAX_FACTOR = 8
+
 
 class CampaignEngine:
-    """Drives one strategy's campaign through a backend and a cache."""
+    """Drives one strategy's campaign through a backend and a cache.
+
+    ``batch_size`` is either a fixed round size or the string ``"auto"``:
+    auto-tuning sizes each proposal round from the backend's worker
+    count and the campaign's running ``last_stats`` -- when cache hits
+    resolve part of a round without touching the backend, the next round
+    is inflated so the *executed* remainder still fills the workers.
+    Because every batchable strategy is bit-identical at every batch
+    size (the PR 1 contract), tuning is purely a scheduling decision and
+    never changes campaign results.
+    """
 
     def __init__(
         self,
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[ResultCache] = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size=DEFAULT_BATCH_SIZE,
     ) -> None:
         self._backend = backend if backend is not None else SerialBackend()
         self._cache = cache
-        self._batch_size = max(1, batch_size)
+        self._auto_batch = batch_size == "auto"
+        if self._auto_batch:
+            self._batch_size = self._auto_initial_size()
+        else:
+            self._batch_size = max(1, int(batch_size))
         self.last_stats: Dict[str, int] = self._fresh_stats()
 
     @staticmethod
     def _fresh_stats() -> Dict[str, int]:
         return {"rounds": 0, "proposed": 0, "cache_hits": 0, "executed": 0}
+
+    # ------------------------------------------------------------------
+    # Adaptive batch sizing
+    # ------------------------------------------------------------------
+    def _worker_count(self) -> int:
+        return max(1, getattr(self._backend, "max_workers", 1))
+
+    def _auto_initial_size(self) -> int:
+        """First-round size: two scenarios per worker keeps the pool busy
+        while the first feedback arrives; a serial backend gains nothing
+        from large rounds, so it stays at the classic default."""
+        workers = self._worker_count()
+        if workers <= 1:
+            return DEFAULT_BATCH_SIZE
+        return 2 * workers
+
+    def _auto_tuned_size(self) -> int:
+        """Next-round size from the campaign's running statistics.
+
+        Targets two *executed* scenarios per worker and round: when the
+        hit rate so far left workers idle (executed < proposed), the
+        proposal size is inflated by the observed proposed/executed
+        ratio, clamped to [workers, AUTO_BATCH_MAX_FACTOR * workers].
+        """
+        workers = self._worker_count()
+        if workers <= 1:
+            return DEFAULT_BATCH_SIZE
+        stats = self.last_stats
+        target = 2 * workers
+        if stats["rounds"] == 0 or stats["executed"] == 0:
+            inflation = 1.0 if stats["rounds"] == 0 else float(AUTO_BATCH_MAX_FACTOR)
+        else:
+            inflation = stats["proposed"] / stats["executed"]
+        size = int(round(target * inflation))
+        return max(workers, min(AUTO_BATCH_MAX_FACTOR * workers, size))
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -73,8 +125,14 @@ class CampaignEngine:
         return self._cache
 
     @property
+    def auto_batch_size(self) -> bool:
+        """True when the engine tunes its round size at runtime."""
+        return self._auto_batch
+
+    @property
     def batch_size(self) -> int:
-        """Scenarios requested per proposal round."""
+        """Scenarios requested per proposal round (the current size, for
+        an auto-tuning engine)."""
         return self._batch_size
 
     def execute(self, strategy, session) -> None:
@@ -100,6 +158,8 @@ class CampaignEngine:
         )
 
         while True:
+            if self._auto_batch:
+                self._batch_size = self._auto_tuned_size()
             batch = strategy.propose_batch(session, self._batch_size)
             if batch is None:
                 # The strategy withdrew from batching; finish sequentially.

@@ -15,6 +15,13 @@ Run the Table III strategy grid on both firmwares with 4 workers::
 Quick smoke campaign::
 
     python -m repro.engine --strategy random --budget 6 --workers 2
+
+Heterogeneous convoy (ArduPilot lead, PX4 wing) under coordination
+faults, with the separation-aware SABRE dequeue::
+
+    python -m repro.engine --workload convoy \
+        --vehicle firmware=ardupilot --vehicle firmware=px4,airframe=solo \
+        --traffic-faults --separation-aware --strategy avis --budget 20
 """
 
 from __future__ import annotations
@@ -23,9 +30,9 @@ import argparse
 import json
 import os
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import RunConfiguration
+from repro.core.config import RunConfiguration, VehicleSpec
 from repro.core.strategies import (
     AvisStrategy,
     BayesianFaultInjection,
@@ -42,6 +49,7 @@ from repro.engine.grid import (
 )
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.firmware.px4 import Px4Firmware
+from repro.sim.vehicle import IRIS_QUADCOPTER, SOLO_QUADCOPTER
 from repro.workloads.builtin import (
     AutoWorkload,
     PositionHoldBoxWorkload,
@@ -54,6 +62,8 @@ from repro.workloads.fleet import (
 )
 
 FIRMWARES = {"ardupilot": ArduPilotFirmware, "px4": Px4Firmware}
+
+AIRFRAMES = {"iris": IRIS_QUADCOPTER, "solo": SOLO_QUADCOPTER}
 
 #: Workloads that need a fleet, mapped to the minimum fleet size each
 #: implies (taken from the workload classes so the CLI cannot drift).
@@ -80,6 +90,14 @@ STRATEGIES: Dict[str, Callable[[], object]] = {
     "depth-first": DepthFirstSearch,
     "breadth-first": BreadthFirstSearch,
 }
+
+#: Strategies that draw from ``session.injectable_failures`` and can
+#: therefore explore the coordination fault space.  The BFI family
+#: scores candidates through a sensor-typed model and the exhaustive
+#: enumerators eagerly materialise every failure subset, so a
+#: ``--traffic-faults`` grid restricted to these strategies is the
+#: honest option: a cell tagged ``+traffic`` really injects them.
+TRAFFIC_STRATEGIES = frozenset({"avis", "random"})
 
 
 def _workload_factory(name: str, altitude: float, box_side: float, fleet_size: int):
@@ -118,6 +136,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--fleet-size", type=int, default=1,
         help="vehicles per fleet-workload simulation (convoy/crossing/"
         "multi-pad; classic workloads in the same grid always fly solo)",
+    )
+    parser.add_argument(
+        "--vehicle", action="append", default=None, metavar="SPEC",
+        help="per-vehicle spec for fleet workloads, one flag per fleet "
+        "member in vehicle order: comma-separated key=value pairs with "
+        f"keys 'firmware' ({'/'.join(sorted(FIRMWARES))}) and 'airframe' "
+        f"({'/'.join(sorted(AIRFRAMES))}), e.g. "
+        "--vehicle firmware=ardupilot --vehicle firmware=px4,airframe=solo. "
+        "Defines the fleet size; overrides --firmware for fleet workloads.",
+    )
+    parser.add_argument(
+        "--traffic-faults", action="store_true",
+        help="open the inter-vehicle traffic channel to injection: adds "
+        "the coordination fault family (beacon dropout/freeze/delay, one "
+        "handle per vehicle) to the fault space of fleet campaigns. "
+        f"Only the strategies that draw from the extended space "
+        f"({'/'.join(sorted(TRAFFIC_STRATEGIES))}) may be combined with it.",
+    )
+    parser.add_argument(
+        "--separation-aware", action="store_true",
+        help="SABRE: dequeue transition windows tightest-profiled-fleet-"
+        "geometry first instead of FIFO (fleet campaigns with the 'avis' "
+        "strategy)",
     )
     parser.add_argument(
         "--strategy", nargs="+", choices=sorted(STRATEGIES),
@@ -165,43 +206,130 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _strategy_factory(strategy_name: str, args: argparse.Namespace):
     """The per-cell strategy factory, honouring the SABRE knobs."""
-    if strategy_name == "avis" and args.per_dequeue is not None:
-        per_dequeue = None if args.per_dequeue == 0 else args.per_dequeue
-        return lambda: AvisStrategy(max_scenarios_per_dequeue=per_dequeue)
+    if strategy_name == "avis" and (
+        args.per_dequeue is not None or args.traffic_faults or args.separation_aware
+    ):
+        kwargs = dict(
+            include_traffic_faults=args.traffic_faults,
+            separation_aware=args.separation_aware,
+        )
+        if args.per_dequeue is not None:
+            kwargs["max_scenarios_per_dequeue"] = (
+                None if args.per_dequeue == 0 else args.per_dequeue
+            )
+        return lambda: AvisStrategy(**kwargs)
     return STRATEGIES[strategy_name]
 
 
 def _strategy_id(strategy_name: str, args: argparse.Namespace) -> str:
     """The cell-id fragment for a strategy; default knobs keep the
     historical ids so existing stream files still resume."""
-    if strategy_name == "avis" and args.per_dequeue is not None:
-        return f"avis@pd{args.per_dequeue}"
-    return strategy_name
+    if strategy_name != "avis":
+        return strategy_name
+    fragment = "avis"
+    if args.per_dequeue is not None:
+        fragment += f"@pd{args.per_dequeue}"
+    if args.separation_aware:
+        fragment += "+sep"
+    return fragment
+
+
+def parse_vehicle_spec(text: str) -> VehicleSpec:
+    """Parse one ``--vehicle`` value: ``firmware=px4,airframe=solo``."""
+    kwargs = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"--vehicle: expected key=value pairs, got '{item}'"
+            )
+        key, value = (part.strip() for part in item.split("=", 1))
+        if key == "firmware":
+            if value not in FIRMWARES:
+                raise ValueError(
+                    f"--vehicle: unknown firmware '{value}' "
+                    f"(choose from {', '.join(sorted(FIRMWARES))})"
+                )
+            kwargs["firmware_class"] = FIRMWARES[value]
+        elif key == "airframe":
+            if value not in AIRFRAMES:
+                raise ValueError(
+                    f"--vehicle: unknown airframe '{value}' "
+                    f"(choose from {', '.join(sorted(AIRFRAMES))})"
+                )
+            kwargs["airframe"] = AIRFRAMES[value]
+        else:
+            raise ValueError(
+                f"--vehicle: unknown key '{key}' (use firmware/airframe)"
+            )
+    return VehicleSpec(**kwargs)
+
+
+def _vehicle_fleet(args: argparse.Namespace) -> Optional[Tuple[VehicleSpec, ...]]:
+    """The per-vehicle fleet requested via ``--vehicle``, if any."""
+    if not args.vehicle:
+        return None
+    specs = tuple(parse_vehicle_spec(text) for text in args.vehicle)
+    if len(specs) < 2:
+        raise ValueError("--vehicle needs at least two specs (one per fleet member)")
+    return specs
 
 
 def build_cells(args: argparse.Namespace) -> List[GridCell]:
-    if args.fleet_size != 1 and not any(
+    vehicles = _vehicle_fleet(args)
+    fleet_size = args.fleet_size
+    if vehicles is not None:
+        if not any(workload in FLEET_WORKLOADS for workload in args.workload):
+            raise ValueError(
+                "--vehicle applies only to fleet workloads "
+                f"({', '.join(sorted(FLEET_WORKLOADS))}); none requested"
+            )
+        if args.fleet_size not in (1, len(vehicles)):
+            raise ValueError(
+                f"--fleet-size {args.fleet_size} disagrees with "
+                f"{len(vehicles)} --vehicle spec(s)"
+            )
+        fleet_size = len(vehicles)
+    elif args.fleet_size != 1 and not any(
         workload in FLEET_WORKLOADS for workload in args.workload
     ):
         raise ValueError(
             "--fleet-size applies only to fleet workloads "
             f"({', '.join(sorted(FLEET_WORKLOADS))}); none requested"
         )
+    if args.traffic_faults and fleet_size < 2 and vehicles is None:
+        raise ValueError(
+            "--traffic-faults needs a fleet (use --fleet-size or --vehicle)"
+        )
+    if args.traffic_faults:
+        unsupported = sorted(set(args.strategy) - TRAFFIC_STRATEGIES)
+        if unsupported:
+            raise ValueError(
+                "--traffic-faults applies only to strategies that explore "
+                f"the coordination fault space "
+                f"({', '.join(sorted(TRAFFIC_STRATEGIES))}); "
+                f"got: {', '.join(unsupported)}"
+            )
     if args.per_dequeue is not None:
         if args.per_dequeue < 0:
             raise ValueError("--per-dequeue must be >= 0 (0 disables the bound)")
         if "avis" not in args.strategy:
             raise ValueError("--per-dequeue applies only to the 'avis' strategy")
+    if args.separation_aware and "avis" not in args.strategy:
+        raise ValueError("--separation-aware applies only to the 'avis' strategy")
     cells: List[GridCell] = []
+    fleet_cell_ids = set()
     for firmware_name in args.firmware:
         for workload_name in args.workload:
             required_fleet = FLEET_WORKLOADS.get(workload_name, 1)
-            if required_fleet > 1 and args.fleet_size < required_fleet:
+            if required_fleet > 1 and fleet_size < required_fleet:
                 raise ValueError(
                     f"workload '{workload_name}' needs --fleet-size >= {required_fleet}"
                 )
             if workload_name in FIXED_FLEET_WORKLOADS and (
-                args.fleet_size != FIXED_FLEET_WORKLOADS[workload_name]
+                fleet_size != FIXED_FLEET_WORKLOADS[workload_name]
             ):
                 # Extra vehicles would be provisioned and integrated every
                 # step but never flown -- reject rather than burn budget
@@ -212,27 +340,52 @@ def build_cells(args: argparse.Namespace) -> List[GridCell]:
                     f"run it with --fleet-size {FIXED_FLEET_WORKLOADS[workload_name]}"
                 )
             # Classic workloads in a mixed grid always fly solo; only the
-            # fleet workloads consume --fleet-size.
-            config = RunConfiguration(
-                firmware_class=FIRMWARES[firmware_name],
-                workload_factory=_workload_factory(
-                    workload_name, args.altitude, args.box_side, args.fleet_size
-                ),
-                fleet_size=args.fleet_size if required_fleet > 1 else 1,
-            )
+            # fleet workloads consume --fleet-size / --vehicle.
+            is_fleet_cell = required_fleet > 1
+            cell_firmware_id = firmware_name
+            if is_fleet_cell and vehicles is not None:
+                # A --vehicle fleet fully determines the cell's firmware
+                # mix; emit it once rather than once per --firmware.
+                cell_firmware_id = "+".join(
+                    spec.firmware_name for spec in vehicles
+                )
+                config = RunConfiguration(
+                    workload_factory=_workload_factory(
+                        workload_name, args.altitude, args.box_side, fleet_size
+                    ),
+                    vehicles=vehicles,
+                )
+            else:
+                config = RunConfiguration(
+                    firmware_class=FIRMWARES[firmware_name],
+                    workload_factory=_workload_factory(
+                        workload_name, args.altitude, args.box_side, fleet_size
+                    ),
+                    fleet_size=fleet_size if is_fleet_cell else 1,
+                )
             workload_id = workload_name
-            if required_fleet > 1:
-                workload_id = f"{workload_name}@fleet{args.fleet_size}"
+            if is_fleet_cell:
+                workload_id = f"{workload_name}@fleet{fleet_size}"
+                if args.traffic_faults:
+                    workload_id += "+traffic"
             for strategy_name in args.strategy:
                 for budget in args.budget:
+                    cell_id = (
+                        f"{cell_firmware_id}/{workload_id}/"
+                        f"{_strategy_id(strategy_name, args)}/{budget:g}"
+                    )
+                    if is_fleet_cell and vehicles is not None:
+                        if cell_id in fleet_cell_ids:
+                            continue
+                        fleet_cell_ids.add(cell_id)
                     cells.append(
                         GridCell(
-                            cell_id=f"{firmware_name}/{workload_id}/"
-                            f"{_strategy_id(strategy_name, args)}/{budget:g}",
+                            cell_id=cell_id,
                             config=config,
                             strategy_factory=_strategy_factory(strategy_name, args),
                             budget_units=budget,
                             profiling_runs=args.profiling_runs,
+                            traffic_faults=args.traffic_faults and is_fleet_cell,
                         )
                     )
     return cells

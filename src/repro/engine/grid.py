@@ -54,6 +54,9 @@ class GridCell:
     profiling_runs: int = 2
     simulation_cost: float = 1.0
     labelling_cost: float = 0.15
+    #: Open the inter-vehicle traffic channel to injection: the cell's
+    #: session gets the coordination fault space (fleet cells only).
+    traffic_faults: bool = False
 
 
 def cell_fingerprint(cell: GridCell) -> str:
@@ -63,14 +66,17 @@ def cell_fingerprint(cell: GridCell) -> str:
     cell when the stored result really came from the same configuration
     -- the cell id alone omits parameters like the workload geometry.
     """
-    payload = "|".join(
-        [
-            config_fingerprint(cell.config, workload_fingerprint(cell.config)),
-            f"budget={cell.budget_units!r}",
-            f"profiling={cell.profiling_runs!r}",
-            f"costs={cell.simulation_cost!r}/{cell.labelling_cost!r}",
-        ]
-    )
+    terms = [
+        config_fingerprint(cell.config, workload_fingerprint(cell.config)),
+        f"budget={cell.budget_units!r}",
+        f"profiling={cell.profiling_runs!r}",
+        f"costs={cell.simulation_cost!r}/{cell.labelling_cost!r}",
+    ]
+    if cell.traffic_faults:
+        # Rendered only when enabled, so pre-traffic stream files keep
+        # resuming their cells.
+        terms.append("traffic_faults=True")
+    payload = "|".join(terms)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -80,9 +86,10 @@ def summarize_campaign(
     wall_seconds: Optional[float] = None,
     fleet_size: int = 1,
     fingerprint: Optional[str] = None,
+    vehicles: Optional[List[str]] = None,
 ) -> dict:
     """The JSON-serialisable summary of one finished grid cell."""
-    return {
+    summary = {
         "cell": cell_id,
         "fingerprint": fingerprint,
         "firmware": campaign.firmware_name,
@@ -99,6 +106,9 @@ def summarize_campaign(
         "efficiency": campaign.efficiency,
         "wall_seconds": wall_seconds,
     }
+    if vehicles is not None:
+        summary["vehicles"] = vehicles
+    return summary
 
 
 def filter_completed(
@@ -166,6 +176,7 @@ def _run_cell(index: int) -> Tuple[int, CampaignResult, float]:
         simulation_cost=cell.simulation_cost,
         labelling_cost=cell.labelling_cost,
         backend=SerialBackend(),
+        traffic_faults=cell.traffic_faults,
     )
     avis.profile()
     campaign = avis.check(strategy=cell.strategy_factory())
@@ -337,6 +348,11 @@ class CampaignGrid:
             wall_seconds=seconds,
             fleet_size=getattr(cell.config, "fleet_size", 1),
             fingerprint=fingerprints[cell_id],
+            vehicles=(
+                [spec.describe() for spec in cell.config.vehicle_specs]
+                if getattr(cell.config, "is_heterogeneous", False)
+                else None
+            ),
         )
         if stream is not None:
             stream.write(json.dumps(summaries[cell_id], sort_keys=True) + "\n")

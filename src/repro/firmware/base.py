@@ -120,6 +120,7 @@ class ControlFirmware:
         self._hold_point: Tuple[float, float] = tuple(initial_hold_point)
         self._hold_altitude: float = 0.0
         self._guided_target: Optional[Tuple[float, float, float]] = None
+        self._guided_speed_limit: Optional[float] = None
         self._rtl_phase = "climb"
         self._landed_counter = 0
         self._failsafe_active = False
@@ -141,10 +142,19 @@ class ControlFirmware:
     @property
     def mode_display_name(self) -> str:
         """The flavour-specific display name of the current mode."""
-        for name, mode in self.mode_name_table.items():
-            if mode == self._flight_mode:
+        return self.mode_name_for(self._flight_mode)
+
+    def mode_name_for(self, mode: FlightMode) -> str:
+        """This flavour's SET_MODE string for ``mode``.
+
+        The reverse lookup over :attr:`mode_name_table`; facades use it
+        so every vehicle of a (possibly heterogeneous) fleet is
+        commanded with its own flavour's mode names.
+        """
+        for name, value in self.mode_name_table.items():
+            if value == mode:
                 return name
-        return self._flight_mode.value.upper()
+        return mode.value.upper()
 
     @property
     def operating_mode_label(self) -> str:
@@ -275,9 +285,21 @@ class ControlFirmware:
         """Install an uploaded mission plan."""
         self._mission.load(plan)
 
-    def set_guided_target(self, north: float, east: float, altitude: float) -> None:
-        """Set the guided-mode target (offsets from home, metres)."""
+    def set_guided_target(
+        self,
+        north: float,
+        east: float,
+        altitude: float,
+        speed_limit: Optional[float] = None,
+    ) -> None:
+        """Set the guided-mode target (offsets from home, metres).
+
+        ``speed_limit`` optionally caps the horizontal approach speed
+        (m/s), like a DO_CHANGE_SPEED alongside the reposition; None
+        keeps the airframe's full envelope.
+        """
         self._guided_target = (north, east, altitude)
+        self._guided_speed_limit = speed_limit
 
     # ------------------------------------------------------------------
     # Mode management
@@ -590,6 +612,7 @@ class ControlFirmware:
                 target_east=east,
                 target_altitude=altitude,
                 target_yaw=yaw_target,
+                speed_limit=self._guided_speed_limit,
             ),
             OperatingModeLabel.GUIDED,
         )

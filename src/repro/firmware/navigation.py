@@ -64,7 +64,13 @@ class PositionController:
     def update(self, estimate: StateEstimate, setpoint: NavigationSetpoint) -> Tuple[float, float]:
         """Return the commanded ``(roll, pitch)`` lean angles."""
         params = self._params
-        speed_limit = setpoint.speed_limit or self._airframe.max_horizontal_speed_ms
+        # `is not None`, not truthiness: an explicit limit of 0.0 means
+        # "hold position", not "fly at the airframe maximum".
+        speed_limit = (
+            setpoint.speed_limit
+            if setpoint.speed_limit is not None
+            else self._airframe.max_horizontal_speed_ms
+        )
 
         if setpoint.target_north is None or setpoint.target_east is None:
             vel_cmd_north, vel_cmd_east = 0.0, 0.0

@@ -11,6 +11,11 @@ This package reproduces both halves in-process:
 * :class:`~repro.hinj.faults.FaultSpec` / :class:`~repro.hinj.faults.FaultScenario`
   describe *what* to fail and *when* -- the ``(Timestamp, Fault)`` tuples
   of Section V-B.
+* :class:`~repro.hinj.faults.TrafficFaultSpec` extends the scenario
+  grammar to the inter-vehicle traffic channel: vehicle-namespaced
+  beacon dropout / freeze / delay faults, scheduled exactly like sensor
+  faults (and enumerated by the strategies through
+  :class:`~repro.hinj.faults.TrafficFailure` handles).
 * :class:`~repro.hinj.scheduler.FaultScheduler` answers the per-read
   "should this instance fail now?" query and records the injections it
   actually performed.
@@ -19,7 +24,16 @@ This package reproduces both halves in-process:
   sensor suite's read path.
 """
 
-from repro.hinj.faults import FaultScenario, FaultSpec, scenario_from_pairs
+from repro.hinj.faults import (
+    FaultScenario,
+    FaultSpec,
+    TrafficFailure,
+    TrafficFaultKind,
+    TrafficFaultSpec,
+    default_traffic_failures,
+    scenario_from_pairs,
+    spec_for,
+)
 from repro.hinj.instrumentation import HinjInterface, ModeTransition
 from repro.hinj.scheduler import FaultScheduler, InjectionRecord
 
@@ -30,5 +44,10 @@ __all__ = [
     "HinjInterface",
     "InjectionRecord",
     "ModeTransition",
+    "TrafficFailure",
+    "TrafficFaultKind",
+    "TrafficFaultSpec",
+    "default_traffic_failures",
     "scenario_from_pairs",
+    "spec_for",
 ]

@@ -6,12 +6,23 @@ injected fault (e.g. sensor and instance) and the timestamp is the
 simulation time when the fault was injected".  :class:`FaultSpec` is one
 such tuple and :class:`FaultScenario` is the (immutable, hashable) set,
 so scenarios can be stored in the scheduler's already-explored hash-set.
+
+Beyond the paper's clean sensor failures, fleet campaigns add a
+*coordination* fault family targeting the inter-vehicle traffic channel
+(:mod:`repro.mavlink.traffic`): :class:`TrafficFaultSpec` schedules a
+beacon dropout, a frozen (stale) beacon, or a delayed beacon on one
+fleet member's broadcast, exactly like a sensor fault is scheduled on
+one sensor instance.  Both spec kinds live in the same
+:class:`FaultScenario`, hash together, and are enumerated by the search
+strategies through the same failure-handle interface
+(:func:`spec_for`).
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.sensors.base import SensorId, SensorType
 
@@ -52,29 +63,169 @@ class FaultSpec:
             return self
         return FaultSpec(self.sensor_id.for_vehicle(vehicle), self.start_time)
 
+    def sort_key(self) -> tuple:
+        """Stable ordering key; sensor faults sort before traffic faults
+        in exactly the pre-traffic order among themselves."""
+        return (0, self.sensor_id._sort_key(), self.start_time)
+
     def describe(self) -> str:
         """Short human readable description used in reports."""
         return f"{self.sensor_id.label} fails at t={self.start_time:.2f}s"
 
 
+class TrafficFaultKind(enum.Enum):
+    """The coordination fault families injectable on the traffic channel.
+
+    * ``DROPOUT`` -- the vehicle's beacons stop being delivered; every
+      receiver's view of it goes (and stays) stale.
+    * ``FREEZE`` -- receivers keep getting apparently-fresh beacons, but
+      the position payload is frozen at the pre-fault state and the
+      velocity is zeroed, so dead-reckoning consumers track a
+      stationary ghost (the classic stale-but-plausible ADS-B failure).
+    * ``DELAY`` -- beacons keep flowing but arrive with an extra fixed
+      delay, so every receiver tracks a delayed ghost of the vehicle.
+    """
+
+    DROPOUT = "dropout"
+    FREEZE = "freeze"
+    DELAY = "delay"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class TrafficFaultSpec:
+    """A coordination fault on one fleet member's beacon broadcast.
+
+    Attributes
+    ----------
+    vehicle:
+        The fleet member whose *outgoing* beacons are faulted (every
+        other vehicle's view of it degrades).
+    kind:
+        The fault family (:class:`TrafficFaultKind`).
+    start_time:
+        Simulation time (seconds) at which the fault becomes active; it
+        never recovers within the run, matching the sensor fault model.
+    extra_delay_s:
+        Additional delivery delay for ``DELAY`` faults, in seconds.
+    """
+
+    vehicle: int
+    kind: TrafficFaultKind
+    start_time: float
+    extra_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.vehicle < 0:
+            raise ValueError("vehicle index cannot be negative")
+        if self.start_time < 0.0:
+            raise ValueError("a fault cannot start before the simulation begins")
+        if self.extra_delay_s < 0.0:
+            raise ValueError("extra_delay_s cannot be negative")
+
+    def active_at(self, time: float) -> bool:
+        """True when the fault should be in effect at ``time``."""
+        return time >= self.start_time
+
+    @property
+    def label(self) -> str:
+        """Vehicle-namespaced label, e.g. ``traffic:v1:dropout``."""
+        base = f"traffic:v{self.vehicle}:{self.kind.value}"
+        if self.kind == TrafficFaultKind.DELAY:
+            base += f"+{self.extra_delay_s:g}s"
+        return base
+
+    def for_vehicle(self, vehicle: int) -> "TrafficFaultSpec":
+        """This fault re-namespaced onto ``vehicle`` (self when unchanged)."""
+        if vehicle == self.vehicle:
+            return self
+        return TrafficFaultSpec(vehicle, self.kind, self.start_time, self.extra_delay_s)
+
+    def sort_key(self) -> tuple:
+        return (1, self.vehicle, self.kind.value, self.extra_delay_s, self.start_time)
+
+    def describe(self) -> str:
+        """Short human readable description used in reports."""
+        return f"{self.label} at t={self.start_time:.2f}s"
+
+
+#: Either fault kind a scenario may carry.
+AnyFaultSpec = Union[FaultSpec, TrafficFaultSpec]
+
+
+@dataclass(frozen=True)
+class TrafficFailure:
+    """An enumeration handle for the coordination fault space.
+
+    Plays the role :class:`~repro.sensors.base.SensorId` plays for the
+    sensor fault space: the search strategies enumerate handles and turn
+    each into a scheduled spec with :func:`spec_for`.
+    """
+
+    vehicle: int
+    kind: TrafficFaultKind
+    extra_delay_s: float = 1.0
+
+    @property
+    def label(self) -> str:
+        """Vehicle-namespaced label matching the spec it produces."""
+        return TrafficFaultSpec(self.vehicle, self.kind, 0.0, self.extra_delay_s).label
+
+    def spec_at(self, time: float) -> TrafficFaultSpec:
+        """The scheduled fault this handle denotes at ``time``."""
+        return TrafficFaultSpec(self.vehicle, self.kind, time, self.extra_delay_s)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+#: A failure handle the strategies can schedule: a sensor instance or a
+#: traffic-channel handle.
+FailureHandle = Union[SensorId, TrafficFailure]
+
+
+def spec_for(failure: FailureHandle, time: float) -> AnyFaultSpec:
+    """Schedule ``failure`` at ``time``: the one constructor the search
+    strategies need, regardless of the fault family."""
+    if isinstance(failure, TrafficFailure):
+        return failure.spec_at(time)
+    return FaultSpec(failure, time)
+
+
+def failure_label(failure: FailureHandle) -> str:
+    """The stable display label of a failure handle."""
+    return failure.label
+
+
+def _spec_sort_key(spec: AnyFaultSpec) -> tuple:
+    return spec.sort_key()
+
+
 class FaultScenario:
-    """An immutable set of :class:`FaultSpec` forming one test scenario."""
+    """An immutable set of fault specs forming one test scenario.
+
+    Holds :class:`FaultSpec` (sensor) and :class:`TrafficFaultSpec`
+    (coordination) entries; classic sensor-only scenarios iterate, hash
+    and render exactly as they did before traffic faults existed.
+    """
 
     __slots__ = ("_faults",)
 
-    def __init__(self, faults: Iterable[FaultSpec] = ()) -> None:
-        self._faults: FrozenSet[FaultSpec] = frozenset(faults)
+    def __init__(self, faults: Iterable[AnyFaultSpec] = ()) -> None:
+        self._faults: FrozenSet[AnyFaultSpec] = frozenset(faults)
 
     # ------------------------------------------------------------------
     # Set-like behaviour
     # ------------------------------------------------------------------
-    def __iter__(self) -> Iterator[FaultSpec]:
-        return iter(sorted(self._faults))
+    def __iter__(self) -> Iterator[AnyFaultSpec]:
+        return iter(sorted(self._faults, key=_spec_sort_key))
 
     def __len__(self) -> int:
         return len(self._faults)
 
-    def __contains__(self, fault: FaultSpec) -> bool:
+    def __contains__(self, fault: AnyFaultSpec) -> bool:
         return fault in self._faults
 
     def __eq__(self, other: object) -> bool:
@@ -98,14 +249,35 @@ class FaultScenario:
         return not self._faults
 
     @property
-    def faults(self) -> List[FaultSpec]:
+    def faults(self) -> List[AnyFaultSpec]:
         """The faults, sorted for stable display."""
-        return sorted(self._faults)
+        return sorted(self._faults, key=_spec_sort_key)
+
+    @property
+    def sensor_faults(self) -> List[FaultSpec]:
+        """The sensor faults only, sorted."""
+        return sorted(
+            (f for f in self._faults if isinstance(f, FaultSpec)),
+            key=_spec_sort_key,
+        )
+
+    @property
+    def traffic_faults(self) -> List[TrafficFaultSpec]:
+        """The coordination (traffic-channel) faults only, sorted."""
+        return sorted(
+            (f for f in self._faults if isinstance(f, TrafficFaultSpec)),
+            key=_spec_sort_key,
+        )
+
+    @property
+    def has_traffic_faults(self) -> bool:
+        """True when at least one coordination fault is scheduled."""
+        return any(isinstance(f, TrafficFaultSpec) for f in self._faults)
 
     @property
     def sensor_ids(self) -> List[SensorId]:
         """The failed sensor instances, sorted, without duplicates."""
-        return sorted({fault.sensor_id for fault in self._faults})
+        return sorted({fault.sensor_id for fault in self.sensor_faults})
 
     @property
     def sensor_types(self) -> List[SensorType]:
@@ -125,7 +297,7 @@ class FaultScenario:
 
     def fault_for(self, sensor_id: SensorId) -> Optional[FaultSpec]:
         """The fault scheduled for ``sensor_id``, if any (earliest wins)."""
-        candidates = [f for f in self._faults if f.sensor_id == sensor_id]
+        candidates = [f for f in self.sensor_faults if f.sensor_id == sensor_id]
         if not candidates:
             return None
         return min(candidates, key=lambda fault: fault.start_time)
@@ -148,14 +320,17 @@ class FaultScenario:
         return FaultScenario(fault.for_vehicle(vehicle) for fault in self._faults)
 
     def vehicle_view(self, vehicle: int) -> "FaultScenario":
-        """The faults targeting ``vehicle``, projected to suite-local ids.
+        """The sensor faults targeting ``vehicle``, projected to
+        suite-local ids.
 
         A fleet harness hands each vehicle's fault scheduler this view:
         the per-vehicle sensor suite identifies its drivers by vehicle-0
-        ids, so the projection strips the namespace.  For vehicle 0 of a
-        classic (fleet size 1) run the view is the scenario itself.
+        ids, so the projection strips the namespace.  Coordination
+        faults target the shared traffic channel, not a vehicle's sensor
+        suite, so they never appear in a vehicle view.  For vehicle 0 of
+        a classic (fleet size 1) run the view is the scenario itself.
         """
-        mine = [fault for fault in self._faults if fault.vehicle == vehicle]
+        mine = [fault for fault in self.sensor_faults if fault.vehicle == vehicle]
         if vehicle == 0 and len(mine) == len(self._faults):
             return self
         return FaultScenario(fault.for_vehicle(0) for fault in mine)
@@ -163,15 +338,22 @@ class FaultScenario:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def extended(self, extra: Iterable[FaultSpec]) -> "FaultScenario":
+    def extended(self, extra: Iterable[AnyFaultSpec]) -> "FaultScenario":
         """Return a new scenario with ``extra`` faults added."""
         return FaultScenario(set(self._faults) | set(extra))
 
     def shifted(self, offset: float) -> "FaultScenario":
         """Return a copy with every fault time shifted by ``offset``."""
-        return FaultScenario(
-            FaultSpec(f.sensor_id, max(f.start_time + offset, 0.0)) for f in self._faults
-        )
+        shifted_faults: List[AnyFaultSpec] = []
+        for fault in self._faults:
+            start = max(fault.start_time + offset, 0.0)
+            if isinstance(fault, TrafficFaultSpec):
+                shifted_faults.append(
+                    TrafficFaultSpec(fault.vehicle, fault.kind, start, fault.extra_delay_s)
+                )
+            else:
+                shifted_faults.append(FaultSpec(fault.sensor_id, start))
+        return FaultScenario(shifted_faults)
 
     def describe(self) -> str:
         """Multi-fault description used in reports."""
@@ -187,3 +369,23 @@ EMPTY_SCENARIO = FaultScenario()
 def scenario_from_pairs(pairs: Sequence[Tuple[SensorId, float]]) -> FaultScenario:
     """Build a scenario from ``(sensor_id, start_time)`` pairs."""
     return FaultScenario(FaultSpec(sensor_id, time) for sensor_id, time in pairs)
+
+
+def default_traffic_failures(
+    fleet_size: int,
+    kinds: Sequence[TrafficFaultKind] = (
+        TrafficFaultKind.DROPOUT,
+        TrafficFaultKind.FREEZE,
+        TrafficFaultKind.DELAY,
+    ),
+    extra_delay_s: float = 1.0,
+) -> List[TrafficFailure]:
+    """The default coordination fault space of a fleet: one handle per
+    (vehicle, fault kind), in vehicle-major order."""
+    if fleet_size < 2:
+        return []
+    return [
+        TrafficFailure(vehicle, kind, extra_delay_s)
+        for vehicle in range(fleet_size)
+        for kind in kinds
+    ]

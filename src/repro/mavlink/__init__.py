@@ -18,6 +18,9 @@ This package reproduces the protocol semantics the framework needs:
   state machines for both ends.
 * :mod:`repro.mavlink.gcs` -- the ground-control station used by the
   workload framework.
+* :mod:`repro.mavlink.traffic` -- the ADS-B-style inter-vehicle beacon
+  channel fleet members coordinate over (and the injection surface of
+  the coordination fault family).
 """
 
 from repro.mavlink.gcs import GroundControlStation
@@ -40,6 +43,7 @@ from repro.mavlink.messages import (
     StatusText,
 )
 from repro.mavlink.mission import MissionPlan, MissionUploadState, mission_item
+from repro.mavlink.traffic import TrafficBeacon, TrafficChannel, TrafficInjectionRecord
 
 __all__ = [
     "CommandAck",
@@ -61,5 +65,8 @@ __all__ = [
     "MissionUploadState",
     "SetMode",
     "StatusText",
+    "TrafficBeacon",
+    "TrafficChannel",
+    "TrafficInjectionRecord",
     "mission_item",
 ]

@@ -154,10 +154,19 @@ class Simulator:
         fleet_size: int = 1,
         pad_spacing_m: float = DEFAULT_PAD_SPACING_M,
         proximity_threshold_m: float = 0.0,
+        airframes: Optional[Sequence[AirframeParameters]] = None,
     ) -> None:
         if fleet_size < 1:
             raise ValueError("a simulation needs at least one vehicle")
+        if airframes is not None:
+            airframes = list(airframes)
+            if len(airframes) != fleet_size:
+                raise ValueError("one airframe per fleet member required")
+            airframe = airframes[0]
+        else:
+            airframes = [airframe] * fleet_size
         self.airframe = airframe
+        self.airframes: List[AirframeParameters] = airframes
         self.environment = environment if environment is not None else default_environment()
         self.clock = SimulationClock(dt=dt)
         self.fleet_size = fleet_size
@@ -168,7 +177,7 @@ class Simulator:
         self._states: List[VehicleState] = []
         for vehicle in range(fleet_size):
             physics = QuadrotorPhysics(
-                airframe=airframe, environment=self.environment, dt=dt
+                airframe=airframes[vehicle], environment=self.environment, dt=dt
             )
             if vehicle > 0:
                 north, east = self.pad_offset(vehicle)

@@ -9,10 +9,14 @@ workload bodies read like their single-vehicle counterparts.
 
 Three built-in fleet workloads ship with the engine:
 
-* :class:`ConvoyFollowWorkload` -- a lead vehicle flies a straight
-  corridor while a follower keeps a fixed gap behind it.  A fail-safe
-  return on the lead sends it back *through* the follower's position,
-  the canonical loss-of-separation hazard of shared-home fleets.
+* :class:`ConvoyFollowWorkload` -- a lead vehicle flies a corridor out
+  and back while a follower tracks it *over the traffic channel*: the
+  follower's only view of the lead is the position/velocity beacons the
+  lead broadcasts (:mod:`repro.mavlink.traffic`), consumed with latency.
+  A stale or lost view of the lead on the return leg -- exactly what the
+  coordination fault family injects -- leaves the follower holding in
+  the corridor while the lead flies back through it, the canonical
+  loss-of-separation hazard of beacon-coordinated fleets.
 * :class:`CrossingPathsWorkload` -- two vehicles fly crossing legs that
   are deconflicted by altitude; mishandled altitude-sensor failures
   erode the vertical separation at the crossing point.
@@ -30,7 +34,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
-from repro.workloads.framework import Target, WorkloadFailure
+from repro.workloads.framework import Target, WorkloadFailure, WorkloadTimeout
 
 
 class FleetTarget(Target):
@@ -129,9 +133,18 @@ class FleetTarget(Target):
             description="fleet takeoff altitudes",
         )
 
-    def goto_vehicle(self, index: int, north: float, east: float, altitude: float) -> None:
+    def goto_vehicle(
+        self,
+        index: int,
+        north: float,
+        east: float,
+        altitude: float,
+        speed_limit: Optional[float] = None,
+    ) -> None:
         """Send one vehicle a guided target (offsets from home, metres)."""
-        self.vehicle(index).set_guided_target(north, east, altitude)
+        self.vehicle(index).set_guided_target(
+            north, east, altitude, speed_limit=speed_limit
+        )
 
     def wait_vehicle_position(
         self,
@@ -154,9 +167,15 @@ class FleetTarget(Target):
         )
 
     def land_fleet(self, timeout_s: Optional[float] = None) -> None:
-        """Switch every vehicle to land and wait until all have disarmed."""
+        """Switch every vehicle to land and wait until all have disarmed.
+
+        Each vehicle is commanded with its *own* flavour's SET_MODE
+        string: a heterogeneous fleet's PX4 wing does not understand the
+        ArduPilot lead's mode names.
+        """
         for index in range(self.fleet_size):
-            self.vehicle(index).gcs.set_mode(self._harness.land_mode_name)
+            handle = self.vehicle(index)
+            handle.gcs.set_mode(handle.land_mode_name)
         self.step(5)
         self.wait_until(
             lambda: all(
@@ -169,17 +188,26 @@ class FleetTarget(Target):
 
 
 class ConvoyFollowWorkload(FleetTarget):
-    """A two-vehicle convoy along a straight northbound corridor.
+    """A two-vehicle convoy flying a northbound corridor out and back.
 
     The lead launches from pad 0, the follower from pad 1.  After a
-    simultaneous takeoff the follower falls in ``gap_m`` metres behind
-    the lead on the corridor's centreline, and the pair advances in
-    ``leg_step_m`` increments until the lead has covered ``leg_m``
-    metres.  Both land in place.
+    simultaneous takeoff the follower slots in ``gap_m`` metres south of
+    the lead on the corridor centreline and *tracks the lead over the
+    traffic channel*: its target is re-derived every few steps from the
+    lead's most recent position beacon -- the follower never reads the
+    lead's state, telemetry, or flight plan.  The pair advances in
+    ``leg_step_m`` increments to ``leg_m`` metres north, turns around,
+    and returns to the pads, where both land.
 
-    The convoy altitude is deliberately above the firmware's RTL return
-    altitude so a mid-corridor fail-safe return flies the lead back at
-    convoy altitude -- head-on through the follower's slot.
+    The return leg is the hazard the coordination faults weaponise: the
+    lead flies *toward* the follower's slot, and only the beacon stream
+    keeps the follower retreating ahead of it.  A frozen or dropped-out
+    view of the lead (``beacon_timeout_s`` decides when the follower
+    declares its picture stale and holds) leaves the follower parked in
+    the corridor while the lead closes head-on.  The convoy altitude is
+    deliberately above the firmware's RTL return altitude, so a
+    mid-corridor fail-safe return likewise comes back at convoy
+    altitude, through the follower's slot.
     """
 
     name = "convoy-follow"
@@ -189,9 +217,13 @@ class ConvoyFollowWorkload(FleetTarget):
         self,
         altitude: float = 16.0,
         leg_m: float = 40.0,
-        gap_m: float = 6.0,
+        gap_m: float = 10.0,
         leg_step_m: float = 10.0,
         init_wait_ms: float = 2000.0,
+        beacon_timeout_s: float = 1.5,
+        follow_update_steps: int = 5,
+        convoy_speed_ms: float = 3.0,
+        checkpoint_pause_ms: float = 1200.0,
     ) -> None:
         super().__init__()
         self.altitude = altitude
@@ -199,6 +231,83 @@ class ConvoyFollowWorkload(FleetTarget):
         self.gap_m = gap_m
         self.leg_step_m = leg_step_m
         self.init_wait_ms = init_wait_ms
+        self.beacon_timeout_s = beacon_timeout_s
+        self.follow_update_steps = max(1, follow_update_steps)
+        self.convoy_speed_ms = convoy_speed_ms
+        self.checkpoint_pause_ms = checkpoint_pause_ms
+
+    # ------------------------------------------------------------------
+    # Beacon-driven following
+    # ------------------------------------------------------------------
+    def _follow_lead(self) -> None:
+        """One follower control decision from the latest lead beacon.
+
+        No beacon yet, or a beacon older than ``beacon_timeout_s``,
+        means the follower has no trustworthy picture of the lead: it
+        holds its last commanded slot (the firmware keeps flying toward
+        the last guided target and hovers there).
+        """
+        beacon = self.vehicle(1).traffic_view(0)
+        if beacon is None:
+            return
+        age = beacon.age_at(self._harness.time)
+        if age > self.beacon_timeout_s:
+            return
+        # Dead-reckon the lead forward by the beacon's age -- the same
+        # extrapolation real traffic receivers apply to ADS-B velocity.
+        # A frozen beacon carries zero velocity, so a stale ghost is
+        # (correctly) tracked as stationary.
+        north = beacon.position[0] + beacon.velocity[0] * age
+        east = beacon.position[1] + beacon.velocity[1] * age
+        self.goto_vehicle(1, north - self.gap_m, east, self.altitude)
+
+    def _command_lead(self, north: float, east: float = 0.0) -> None:
+        """Command the lead to a corridor point at convoy cruise speed."""
+        self.goto_vehicle(
+            0, north, east, self.altitude, speed_limit=self.convoy_speed_ms
+        )
+
+    def _advance_lead(
+        self, north: float, east: float = 0.0, radius: float = 3.0
+    ) -> None:
+        """Command the lead to a corridor point and step until it arrives,
+        re-deriving the follower's slot from the beacon stream throughout."""
+        self._command_lead(north, east)
+        deadline = self._harness.time + self.default_timeout_s
+        while True:
+            d_north, d_east = self.vehicle_position(0)
+            if math.hypot(d_north - north, d_east - east) <= radius:
+                return
+            if self._harness.time >= deadline:
+                raise WorkloadTimeout(
+                    f"timed out after {self.default_timeout_s:.0f}s waiting "
+                    f"for the lead at ({north:.0f}, {east:.0f})"
+                )
+            self.step(self.follow_update_steps)
+            self._follow_lead()
+
+    def _checkpoint_pause(self) -> None:
+        """Hold the lead at a corridor checkpoint for a beat.
+
+        The lead drops into its position-hold mode and back to guided --
+        an operating-mode transition pair at every checkpoint, which is
+        what anchors SABRE's transition queue (and its separation
+        weights) to the corridor geometry instead of only takeoff and
+        landing.  The follower keeps tracking beacons throughout.
+        """
+        if self.checkpoint_pause_ms <= 0.0:
+            return
+        lead = self.vehicle(0)
+        lead.gcs.set_mode(lead.position_hold_mode_name)
+        pause_steps = max(
+            int(self.checkpoint_pause_ms / 1000.0 / self._harness.dt), 1
+        )
+        for _ in range(0, pause_steps, self.follow_update_steps):
+            self.step(self.follow_update_steps)
+            self._follow_lead()
+        lead.gcs.set_mode(lead.guided_mode_name)
+        self.step(self.follow_update_steps)
+        self._follow_lead()
 
     def test(self) -> None:
         self.check_fleet()
@@ -206,17 +315,31 @@ class ConvoyFollowWorkload(FleetTarget):
         self.arm_fleet()
         self.takeoff_fleet([self.altitude, self.altitude])
 
-        # Form up: the follower slots in behind the lead on the corridor
-        # centreline (north axis through pad 0).
-        self.goto_vehicle(1, -self.gap_m, 0.0, self.altitude)
-        self.wait_vehicle_position(1, -self.gap_m, 0.0, radius=3.0)
+        # Form up: the lead holds over pad 0 while the follower acquires
+        # the beacon stream and slots in behind it on the centreline.
+        deadline = self._harness.time + self.default_timeout_s
+        while True:
+            d_north, d_east = self.vehicle_position(1)
+            if math.hypot(d_north + self.gap_m, d_east) <= 3.0:
+                break
+            if self._harness.time >= deadline:
+                raise WorkloadTimeout("follower never acquired its convoy slot")
+            self.step(self.follow_update_steps)
+            self._follow_lead()
 
+        # Outbound leg, turn-around, return leg: the follower's motion
+        # is derived from beacons the whole way, and the lead pauses at
+        # every checkpoint (a mode-transition pair per checkpoint).
         distance = self.leg_step_m
         while distance <= self.leg_m:
-            self.goto_vehicle(0, distance, 0.0, self.altitude)
-            self.goto_vehicle(1, distance - self.gap_m, 0.0, self.altitude)
-            self.wait_vehicle_position(0, distance, 0.0, radius=3.0)
+            self._advance_lead(distance)
+            self._checkpoint_pause()
             distance += self.leg_step_m
+        distance = self.leg_m - self.leg_step_m
+        while distance >= 0.0:
+            self._advance_lead(distance)
+            self._checkpoint_pause()
+            distance -= self.leg_step_m
 
         self.land_fleet()
         self.pass_test()

@@ -19,7 +19,12 @@ from repro.engine.cache import (
 )
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.firmware.modes import OperatingModeLabel
-from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.hinj.faults import (
+    FaultScenario,
+    FaultSpec,
+    TrafficFaultKind,
+    TrafficFaultSpec,
+)
 from repro.sensors.base import SensorId, SensorType
 from repro.sim.physics import ActuatorCommand
 from repro.sim.simulator import Simulator
@@ -215,7 +220,36 @@ class TestSeparationInvariant:
     def test_single_vehicle_profiles_leave_invariant_disabled(self, waypoint_avis):
         assert waypoint_avis.monitor.separation_threshold_m is None
 
-    def test_lead_failsafe_return_breaks_separation(self, convoy_config, convoy_avis):
+    def test_blind_follower_during_lead_failsafe_breaks_separation(
+        self, convoy_config, convoy_avis
+    ):
+        """A lead fail-safe return plus dropped beacons: the follower
+        holds blind in the corridor while the lead flies back through
+        its slot -- the coordination hazard the traffic channel opens."""
+        monitor = convoy_avis.monitor
+        runner = TestRunner(convoy_config, monitor=monitor)
+        monitor.begin_run()
+        scenario = FaultScenario(
+            [
+                FaultSpec(SensorId(SensorType.BATTERY, 0, vehicle=0), 18.0),
+                TrafficFaultSpec(0, TrafficFaultKind.DROPOUT, 18.0),
+            ]
+        )
+        result = runner.run(scenario)
+        kinds = {condition.kind for condition in result.unsafe_conditions}
+        assert UnsafeConditionKind.SEPARATION in kinds
+        assert result.proximity_events
+        assert result.min_separation_m < monitor.separation_threshold_m
+        assert [record.fault.kind for record in result.traffic_injections] == [
+            TrafficFaultKind.DROPOUT
+        ]
+
+    def test_live_beacons_let_follower_evade_lead_failsafe(
+        self, convoy_config, convoy_avis
+    ):
+        """With the beacon stream intact the follower retreats ahead of
+        the returning lead: the same battery fail-safe alone keeps the
+        fleet separated."""
         monitor = convoy_avis.monitor
         runner = TestRunner(convoy_config, monitor=monitor)
         monitor.begin_run()
@@ -224,9 +258,8 @@ class TestSeparationInvariant:
         )
         result = runner.run(scenario)
         kinds = {condition.kind for condition in result.unsafe_conditions}
-        assert UnsafeConditionKind.SEPARATION in kinds
-        assert result.proximity_events
-        assert result.min_separation_m < monitor.separation_threshold_m
+        assert UnsafeConditionKind.SEPARATION not in kinds
+        assert result.min_separation_m > monitor.separation_threshold_m
 
     def test_cache_keys_include_separation_calibration(
         self, convoy_config, convoy_avis, short_auto_config

@@ -20,6 +20,7 @@ main = check_regression_module.main
 def report(
     seconds=1.0,
     fleet2=2.0,
+    traffic=2.5,
     sabre=1.5,
     calibration=0.1,
     cpus=1,
@@ -33,6 +34,9 @@ def report(
         "speedup_workers2": speedup2,
         "fleet_scaling": {
             "fleet2": {"seconds_per_simulation": fleet2},
+        },
+        "traffic": {
+            "seconds_per_simulation": traffic,
         },
         "sabre": {
             "seconds_per_simulation": sabre,
@@ -61,6 +65,10 @@ class TestSecondsGate:
     def test_sabre_axis_is_gated(self):
         failures, _ = check_regression(report(sabre=1.0), report(sabre=1.4))
         assert any("sabre.seconds_per_simulation" in f for f in failures)
+
+    def test_traffic_axis_is_gated(self):
+        failures, _ = check_regression(report(traffic=1.0), report(traffic=1.4))
+        assert any("traffic.seconds_per_simulation" in f for f in failures)
 
     def test_missing_current_metric_is_noted_not_failed(self):
         current = report()
