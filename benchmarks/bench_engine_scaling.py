@@ -1,7 +1,7 @@
-"""Engine scaling: worker-count, fleet-size, traffic-fault and
+"""Engine scaling: worker-count, fleet-size, traffic-fault, burst and
 batched-SABRE axes.
 
-Four scaling axes are measured and written to ``BENCH_engine.json``
+Five scaling axes are measured and written to ``BENCH_engine.json``
 next to the repository root:
 
 * **Workers** -- a fixed, seeded 32-scenario campaign (the same
@@ -17,6 +17,12 @@ next to the repository root:
   (beacon dropout/freeze on the lead) flown by the beacon-driven
   convoy, so the cost of the traffic channel plus the longest-running
   fleet workload is tracked over time.
+* **Burst** -- the same convoy under *intermittent* coordination faults
+  (finite ``duration_s``): recovery re-engages the follower's tracking
+  loop mid-mission, so these runs exercise the recovery machinery end
+  to end and tend to run the full mission (no early unsafe abort),
+  making the axis a sensitive cost probe for the recovery-window
+  feature.
 * **SABRE** -- the paper's headline strategy run as a full (profiled,
   budgeted) campaign through the batch protocol: serial backend versus
   a 4-worker pool at the recorded ``per_dequeue``, with the two
@@ -62,6 +68,8 @@ RNG_SEED = 17
 FLEET_SIZES = (2, 3)
 FLEET_SCENARIO_COUNT = 4
 TRAFFIC_SCENARIO_COUNT = 4
+BURST_SCENARIO_COUNT = 4
+BURST_DURATION_S = 20.0
 SABRE_BUDGET = 10.0
 SABRE_PER_DEQUEUE = 4
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -207,6 +215,50 @@ def _measure_traffic_axis() -> dict:
     }
 
 
+def _burst_scenarios() -> list:
+    """Intermittent (recovering) dropouts on the lead's beacons."""
+    return [
+        FaultScenario(
+            [
+                TrafficFaultSpec(
+                    0,
+                    TrafficFaultKind.DROPOUT,
+                    9.0 + 2.0 * index,
+                    duration_s=BURST_DURATION_S,
+                )
+            ]
+        )
+        for index in range(BURST_SCENARIO_COUNT)
+    ]
+
+
+def _measure_burst_axis() -> dict:
+    """Seconds per simulation for intermittent-dropout convoy runs."""
+    config = _traffic_config()
+    scenarios = _burst_scenarios()
+    started = time.perf_counter()
+    results = SerialBackend().run_scenarios(config, None, scenarios)
+    elapsed = time.perf_counter() - started
+    separations = [
+        r.min_separation_m for r in results if r.min_separation_m is not None
+    ]
+    recoveries = sum(
+        1
+        for result in results
+        for record in result.traffic_injections
+        if record.recovered
+    )
+    return {
+        "workload": "convoy-follow",
+        "burst_duration_s": BURST_DURATION_S,
+        "scenario_count": len(scenarios),
+        "wall_s": elapsed,
+        "seconds_per_simulation": elapsed / len(scenarios),
+        "min_separation_m": min(separations) if separations else None,
+        "recoveries": recoveries,
+    }
+
+
 def _sabre_campaign(backend):
     """One full batched-SABRE campaign; returns (campaign, wall seconds,
     engine round stats)."""
@@ -292,6 +344,7 @@ def test_engine_scaling(benchmark, capsys):
 
     fleet_axis = _measure_fleet_axis()
     traffic_axis = _measure_traffic_axis()
+    burst_axis = _measure_burst_axis()
     sabre_axis = _measure_sabre_axis()
 
     cpus = _usable_cpus()
@@ -313,6 +366,7 @@ def test_engine_scaling(benchmark, capsys):
         ),
         "fleet_scaling": fleet_axis,
         "traffic": traffic_axis,
+        "burst": burst_axis,
         "sabre": sabre_axis,
     }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -332,6 +386,10 @@ def test_engine_scaling(benchmark, capsys):
               f"{traffic_axis['scenario_count']} sims "
               f"({traffic_axis['seconds_per_simulation']:.2f}s/sim, "
               f"{traffic_axis['traffic_injections']} injections)")
+        print(f"  burst     : {burst_axis['wall_s']:.2f}s for "
+              f"{burst_axis['scenario_count']} sims "
+              f"({burst_axis['seconds_per_simulation']:.2f}s/sim, "
+              f"{burst_axis['recoveries']} recoveries)")
         print(f"  sabre     : {sabre_axis['serial_s']:.2f}s serial vs "
               f"{sabre_axis['pool_s']:.2f}s pooled "
               f"({sabre_axis['speedup_pool4']:.2f}x, "

@@ -3,9 +3,9 @@
 CI runs the engine-scaling microbenchmark and then this script.  The
 gate fails (exit code 1) when any ``seconds_per_simulation`` metric --
 the single-vehicle campaign, the fleet-scaling axis, the traffic-fault
-convoy axis, or the batched SABRE campaign -- regresses more than
-``--tolerance`` (default 25%) against the committed
-``BENCH_baseline.json``.
+convoy axis, the intermittent-fault (burst) convoy axis, or the batched
+SABRE campaign -- regresses more than ``--tolerance`` (default 25%)
+against the committed ``BENCH_baseline.json``.
 
 Two things keep the gate honest across heterogeneous runners:
 
@@ -69,7 +69,7 @@ def _seconds_metrics(report: dict) -> Iterator[Tuple[str, float]]:
                 value = _lookup(axis, (entry_key, "seconds_per_simulation"))
                 if value is not None:
                     yield f"{axis_key}.{entry_key}.seconds_per_simulation", value
-    for flat_axis in ("traffic", "sabre"):
+    for flat_axis in ("traffic", "burst", "sabre"):
         value = _lookup(report, (flat_axis, "seconds_per_simulation"))
         if value is not None:
             yield f"{flat_axis}.seconds_per_simulation", value

@@ -27,7 +27,7 @@ from repro.core.strategies import AvisStrategy, SearchStrategy
 from repro.engine.backends import ExecutionBackend
 from repro.engine.cache import ResultCache
 from repro.engine.campaign import DEFAULT_BATCH_SIZE, CampaignEngine
-from repro.hinj.faults import default_traffic_failures
+from repro.hinj.faults import default_traffic_failures, validate_burst_durations
 from repro.sensors.suite import iris_sensor_suite
 
 
@@ -118,12 +118,16 @@ class Avis:
         cache: Optional[ResultCache] = None,
         batch_size=DEFAULT_BATCH_SIZE,
         traffic_faults: bool = False,
+        burst_durations: Sequence[float] = (),
     ) -> None:
         self._config = config
         self._profiling_run_count = max(profiling_runs, 1)
         self._budget_units = budget_units
         self._simulation_cost = simulation_cost
         self._labelling_cost = labelling_cost
+        # Recovery windows the default (SABRE) strategy explores next to
+        # the latched faults; empty keeps the classic fault space.
+        self._burst_durations = validate_burst_durations(burst_durations)
         # Opt-in coordination fault space: one handle per (vehicle,
         # fault kind), offered to strategies through the session.
         if traffic_faults and config.fleet_size < 2:
@@ -208,9 +212,17 @@ class Avis:
         strategy: Optional[SearchStrategy] = None,
         budget_units: Optional[float] = None,
     ) -> CampaignResult:
-        """Run one checking campaign with ``strategy`` (SABRE by default)."""
+        """Run one checking campaign with ``strategy`` (SABRE by default).
+
+        The default strategy inherits this orchestrator's
+        ``burst_durations`` and explores the opted-in coordination fault
+        space when ``traffic_faults=True`` was requested.
+        """
         if strategy is None:
-            strategy = AvisStrategy()
+            strategy = AvisStrategy(
+                include_traffic_faults=bool(self._traffic_failures),
+                burst_durations=self._burst_durations,
+            )
         profiles = self.profiling_results
         monitor = self.monitor
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.modegraph import ModeGraph
 from repro.core.runner import RunResult, TraceSample
@@ -58,6 +58,15 @@ class LivelinessViolation:
 DEFAULT_SAFE_MODE_LABELS = frozenset(
     {OperatingModeLabel.RTL, OperatingModeLabel.LAND, OperatingModeLabel.LANDED}
 )
+
+
+#: One tolerance window: (start, end) simulation times, inclusive.
+ToleranceWindow = Tuple[float, float]
+
+
+def time_in_windows(time: float, windows: Sequence[ToleranceWindow]) -> bool:
+    """True when ``time`` falls inside any of ``windows``."""
+    return any(start <= time <= end for start, end in windows)
 
 
 def rtl_progress_violation(
@@ -325,24 +334,37 @@ class LivelinessMonitor:
             )
         return None
 
-    def evaluate(self, result: RunResult) -> List[LivelinessViolation]:
-        """Offline evaluation of a completed run (Equation 1 + safe modes)."""
+    def evaluate(
+        self,
+        result: RunResult,
+        tolerance_windows: Sequence[ToleranceWindow] = (),
+    ) -> List[LivelinessViolation]:
+        """Offline evaluation of a completed run (Equation 1 + safe modes).
+
+        ``tolerance_windows`` are the recovery-tolerance spans of the
+        run's intermittent faults: a divergence inside one is expected
+        degraded-but-recovering behaviour, not a violation, so the scan
+        skips those samples and keeps judging afterwards -- divergence
+        that *persists* beyond the window is still flagged instead of
+        the whole run latching on the transient.
+        """
         violations: List[LivelinessViolation] = []
         for sample in result.trace:
+            if time_in_windows(sample.time, tolerance_windows):
+                continue
             violation = self.check_sample(sample)
             if violation is not None:
                 violations.append(violation)
                 break  # first divergence is enough; later samples add noise
-        violations.extend(self._check_safe_mode_progress(result))
+        violations.extend(
+            self.check_safe_mode_progress(result.trace, tolerance_windows)
+        )
         return violations
 
-    def _check_safe_mode_progress(self, result: RunResult) -> List[LivelinessViolation]:
-        """Safe-mode progress over the lead trace (see
-        :meth:`check_safe_mode_progress`)."""
-        return self.check_safe_mode_progress(result.trace)
-
     def check_safe_mode_progress(
-        self, samples: List[TraceSample]
+        self,
+        samples: List[TraceSample],
+        tolerance_windows: Sequence[ToleranceWindow] = (),
     ) -> List[LivelinessViolation]:
         """Additional invariants for safe modes (Section IV-C-2).
 
@@ -351,7 +373,8 @@ class LivelinessMonitor:
         its return altitude).  Violations of these are how fly-aways that
         hide inside a fail-safe mode are caught.  The rule is calibration
         free, so it applies to any vehicle's trace -- fleet followers
-        included.
+        included.  Samples inside a recovery ``tolerance_windows`` span
+        are not judged (see :meth:`evaluate`).
         """
         violations: List[LivelinessViolation] = []
         if len(samples) < 2:
@@ -366,6 +389,8 @@ class LivelinessMonitor:
         for index in range(window, len(samples)):
             current = samples[index]
             past = samples[index - window]
+            if time_in_windows(current.time, tolerance_windows):
+                continue
             if any(
                 item.mode_label != current.mode_label
                 for item in samples[index - window : index + 1]

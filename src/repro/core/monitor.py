@@ -11,17 +11,47 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.liveliness import (
     LivelinessMonitor,
     LivelinessViolation,
+    ToleranceWindow,
     rtl_progress_violation,
+    time_in_windows,
 )
 from repro.core.modegraph import ModeGraph
 from repro.core.runner import RunResult, TraceSample
 from repro.core.safety import SafetyMonitor, SafetyViolation
 from repro.firmware.modes import OperatingModeLabel
+
+
+def recovery_tolerance_windows(
+    scenario, grace_s: float, run_duration_s: Optional[float] = None
+) -> List[ToleranceWindow]:
+    """The re-convergence tolerance spans of a scenario's intermittent
+    faults.
+
+    Each recovering fault (finite ``duration_s``) contributes the span
+    from its injection to ``grace_s`` seconds past its recovery: inside
+    it, deviation from the profiled behaviour is the *expected* shape of
+    a transient fault plus the settle-back, so the liveliness layers do
+    not latch a violation there.  Latched faults contribute nothing --
+    a scenario without recovery windows keeps the exact classic
+    judgement.
+
+    ``run_duration_s`` (supplied by the offline evaluation, which knows
+    how long the run actually lasted) drops windows whose recovery never
+    landed inside the run: a burst that outlives the mission behaved
+    exactly like its latched twin, so it earns no tolerance either.
+    """
+    if scenario is None:
+        return []
+    return [
+        (fault.start_time, fault.end_time + grace_s)
+        for fault in getattr(scenario, "recovering_faults", [])
+        if run_duration_s is None or fault.end_time <= run_duration_s
+    ]
 
 
 class UnsafeConditionKind(enum.Enum):
@@ -76,8 +106,15 @@ class _OnlineProgressTracker:
         self._samples: List[TraceSample] = []
         self._flagged_labels: Set[str] = set()
 
-    def observe(self, sample: TraceSample) -> Optional[LivelinessViolation]:
+    def observe(
+        self, sample: TraceSample, tolerate: bool = False
+    ) -> Optional[LivelinessViolation]:
+        """Stream one sample; ``tolerate`` records it without judging it
+        (used inside recovery-tolerance windows, where a stalled
+        fail-safe is expected transient behaviour)."""
         self._samples.append(sample)
+        if tolerate:
+            return None
         if len(self._samples) < 2 or sample.on_ground:
             return None
         if sample.mode_label in self._flagged_labels:
@@ -139,6 +176,11 @@ class InvariantMonitor:
     SEPARATION_CALIBRATION_FACTOR = 0.5
     #: Absolute cap on the calibrated threshold, in metres.
     MAX_SEPARATION_THRESHOLD_M = 5.0
+    #: Seconds past an intermittent fault's recovery during which the
+    #: liveliness layers tolerate divergence from the profiled behaviour
+    #: (the settle-back).  Safety and separation are never tolerated: a
+    #: crash during a transient is still a crash.
+    RECOVERY_GRACE_S = 8.0
 
     def __init__(
         self,
@@ -156,6 +198,7 @@ class InvariantMonitor:
         )
         self._progress_tracker: Optional[_OnlineProgressTracker] = None
         self._vehicle_trackers: Dict[int, _OnlineProgressTracker] = {}
+        self._tolerance_windows: List[ToleranceWindow] = []
         if min_separation_m is not None:
             self._separation_threshold: Optional[float] = min_separation_m
         else:
@@ -204,10 +247,26 @@ class InvariantMonitor:
     # ------------------------------------------------------------------
     # Online interface (used by the harness during a run)
     # ------------------------------------------------------------------
-    def begin_run(self) -> None:
-        """Reset per-run state before a new run starts."""
+    def begin_run(self, scenario=None) -> None:
+        """Reset per-run state before a new run starts.
+
+        ``scenario`` (when the runner supplies it) seeds the recovery
+        tolerance windows: while an intermittent fault is active -- and
+        for :data:`RECOVERY_GRACE_S` seconds after it recovers -- the
+        online liveliness layers tolerate divergence instead of latching
+        a violation, so a run is not aborted on the expected transient.
+        Latched-only scenarios produce no windows and are judged exactly
+        as before.
+        """
         self._progress_tracker = _OnlineProgressTracker(self._liveliness)
         self._vehicle_trackers = {}
+        self._tolerance_windows = recovery_tolerance_windows(
+            scenario, self.RECOVERY_GRACE_S
+        )
+
+    def _tolerated(self, time: float) -> bool:
+        """True inside a recovery-tolerance window of the current run."""
+        return time_in_windows(time, self._tolerance_windows)
 
     def check_sample(self, sample: TraceSample) -> Optional[UnsafeCondition]:
         """Check one trace sample while the run is executing.
@@ -215,11 +274,15 @@ class InvariantMonitor:
         The liveliness rule and the safe-mode progress invariants are
         evaluated online (safety violations are detected by the
         simulator's collision log as they happen); returning a violation
-        lets the harness abort the run early.
+        lets the harness abort the run early.  Samples inside a recovery
+        tolerance window are recorded but not judged.
         """
-        violation = self._liveliness.check_sample(sample)
+        tolerated = self._tolerated(sample.time)
+        violation = None
+        if not tolerated:
+            violation = self._liveliness.check_sample(sample)
         if violation is None and self._progress_tracker is not None:
-            violation = self._progress_tracker.observe(sample)
+            violation = self._progress_tracker.observe(sample, tolerate=tolerated)
         if violation is None:
             return None
         return self._from_liveliness(violation)
@@ -243,7 +306,7 @@ class InvariantMonitor:
         if tracker is None:
             tracker = _OnlineProgressTracker(self._liveliness)
             self._vehicle_trackers[vehicle] = tracker
-        violation = tracker.observe(sample)
+        violation = tracker.observe(sample, tolerate=self._tolerated(sample.time))
         if violation is None:
             return None
         return self._namespaced(self._from_liveliness(violation), vehicle)
@@ -274,16 +337,31 @@ class InvariantMonitor:
         safe-mode progress windows, however, cover every vehicle:
         follower traces are checked with vehicle-namespaced labels,
         matching the online streaming in :meth:`check_vehicle_sample`.
+
+        Scenarios with intermittent faults are judged with recovery
+        tolerance: the liveliness layers skip the active-plus-grace
+        window of each recovering fault (re-convergence is expected, not
+        a bug) while safety and separation stay strict throughout.  A
+        fault whose window outlived the run never actually recovered --
+        the run is physically the latched one -- so it earns no
+        tolerance here, even if the online streaming (which cannot know
+        the run's end in advance) deferred judgement; the offline
+        verdict computed here is the authoritative one.
         """
+        windows = recovery_tolerance_windows(
+            result.scenario, self.RECOVERY_GRACE_S, result.duration_s
+        )
         conditions: List[UnsafeCondition] = []
         for violation in self._safety.evaluate(result):
             conditions.append(self._from_safety(violation))
-        for violation in self._liveliness.evaluate(result):
+        for violation in self._liveliness.evaluate(result, windows):
             conditions.append(self._from_liveliness(violation))
         for vehicle, samples in sorted(result.vehicle_traces.items()):
             if vehicle == 0:
                 continue  # the lead is covered by the full evaluation above
-            for violation in self._liveliness.check_safe_mode_progress(samples):
+            for violation in self._liveliness.check_safe_mode_progress(
+                samples, windows
+            ):
                 conditions.append(
                     self._namespaced(self._from_liveliness(violation), vehicle)
                 )

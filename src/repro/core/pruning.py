@@ -25,11 +25,14 @@ from repro.sensors.base import SensorId, SensorRole, SensorType
 
 
 #: A canonical signature: how many instances of each (vehicle, type, role)
-#: fail at each time.  Two scenarios with equal signatures are symmetric.
-#: The vehicle index is part of the signature because instance symmetry
-#: only holds within one airframe: the same backup failing on a different
-#: fleet member is a genuinely different scenario.
-SymmetrySignature = FrozenSet[Tuple[int, str, str, float, int]]
+#: fail at each time, for each recovery window (None = latched).  Two
+#: scenarios with equal signatures are symmetric.  The vehicle index is
+#: part of the signature because instance symmetry only holds within one
+#: airframe: the same backup failing on a different fleet member is a
+#: genuinely different scenario.  The window is part of it because a
+#: recovering fault and a latched one at the same site are genuinely
+#: different probes.
+SymmetrySignature = FrozenSet[Tuple[int, str, str, float, Optional[float], int]]
 
 
 def symmetry_signature(
@@ -43,7 +46,13 @@ def symmetry_signature(
             # (vehicle, kind) is its own singleton, so only exact
             # duplicates are symmetric.
             counts[
-                (fault.vehicle, fault.label, "channel", fault.start_time)
+                (
+                    fault.vehicle,
+                    fault.label,
+                    "channel",
+                    fault.start_time,
+                    fault.duration_s,
+                )
             ] += 1
             continue
         role = role_of(fault.sensor_id)
@@ -53,11 +62,12 @@ def symmetry_signature(
                 fault.sensor_id.sensor_type.value,
                 role.value,
                 fault.start_time,
+                fault.duration_s,
             )
         ] += 1
     return frozenset(
-        (vehicle, sensor_type, role, time, count)
-        for (vehicle, sensor_type, role, time), count in counts.items()
+        (vehicle, sensor_type, role, time, duration, count)
+        for (vehicle, sensor_type, role, time, duration), count in counts.items()
     )
 
 

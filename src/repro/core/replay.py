@@ -40,6 +40,10 @@ class AnchoredFault:
     anchor_occurrence: int
     #: Seconds between the anchoring transition and the injection.
     offset_s: float
+    #: Recovery window of an intermittent fault (None = latched).  The
+    #: window is a property of the fault, not of the run, so it replays
+    #: verbatim rather than being re-anchored.
+    duration_s: Optional[float] = None
 
     @property
     def sensor_id(self) -> SensorId:
@@ -61,6 +65,7 @@ class ReplayPlan:
         return "; ".join(
             f"{failure_label(fault.failure)} {fault.offset_s:.2f}s after entering "
             f"'{fault.anchor_label}' (occurrence {fault.anchor_occurrence})"
+            + (f" for {fault.duration_s:g}s" if fault.duration_s is not None else "")
             for fault in self.faults
         )
 
@@ -80,7 +85,10 @@ class ReplayOutcome:
 
 
 def _anchor(
-    transitions, failure: FailureHandle, injected_time: float
+    transitions,
+    failure: FailureHandle,
+    injected_time: float,
+    duration_s: Optional[float] = None,
 ) -> AnchoredFault:
     anchor_label = "preflight"
     anchor_time = 0.0
@@ -97,6 +105,7 @@ def _anchor(
         anchor_label=anchor_label,
         anchor_occurrence=max(occurrence, 1),
         offset_s=injected_time - anchor_time,
+        duration_s=duration_s,
     )
 
 
@@ -106,12 +115,21 @@ def build_replay_plan(result: RunResult) -> ReplayPlan:
     Sensor injections come from the per-vehicle schedulers' logs;
     coordination faults come from the traffic channel's injection log --
     both anchor to the lead's mode transitions, so a replayed scenario
-    carries the complete fault set.
+    carries the complete fault set.  Recovery windows ride along: an
+    intermittent fault replays with the same ``duration_s`` it was
+    recorded with.
     """
     faults: List[AnchoredFault] = []
     transitions = result.mode_transitions
     for record in result.injections:
-        faults.append(_anchor(transitions, record.sensor_id, record.injected_time))
+        faults.append(
+            _anchor(
+                transitions,
+                record.sensor_id,
+                record.injected_time,
+                getattr(record, "duration_s", None),
+            )
+        )
     for traffic_record in result.traffic_injections:
         fault = traffic_record.fault
         faults.append(
@@ -119,6 +137,7 @@ def build_replay_plan(result: RunResult) -> ReplayPlan:
                 transitions,
                 TrafficFailure(fault.vehicle, fault.kind, fault.extra_delay_s),
                 traffic_record.injected_time,
+                fault.duration_s,
             )
         )
     return ReplayPlan(faults=faults)
@@ -145,7 +164,13 @@ def resolve_plan(plan: ReplayPlan, reference: RunResult) -> FaultScenario:
             # The reference run never entered the anchoring mode; fall back
             # to the start of the mission so the fault is still injected.
             anchor_time = 0.0
-        specs.append(spec_for(fault.failure, max(anchor_time + fault.offset_s, 0.0)))
+        specs.append(
+            spec_for(
+                fault.failure,
+                max(anchor_time + fault.offset_s, 0.0),
+                fault.duration_s,
+            )
+        )
     return FaultScenario(specs)
 
 

@@ -670,7 +670,9 @@ class TestRunner:
         online_monitor = self._monitor if self._monitor is not None else None
         harness = SimulationHarness(config, scenario, monitor=online_monitor)
         if online_monitor is not None:
-            online_monitor.begin_run()
+            # The scenario seeds the monitor's recovery-tolerance windows
+            # (a no-op for latched-only scenarios).
+            online_monitor.begin_run(scenario)
         workload = config.workload_factory()
         workload.bind(harness)
         workload_result = workload.run()

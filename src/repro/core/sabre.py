@@ -18,8 +18,7 @@ in a fairer order across transitions, which matters when the simulation
 budget is far smaller than the paper's two hours.  The default campaign
 uses a bound of 8.
 
-Two fleet extensions, both off by default so classic campaigns are
-untouched:
+Three extensions, all off by default so classic campaigns are untouched:
 
 * The ``failures`` sequence accepts any
   :data:`~repro.hinj.faults.FailureHandle` -- sensor instances and
@@ -35,6 +34,15 @@ untouched:
   to the first separation violation.  The weighting engages only when
   the profiling run carries fleet separation data; otherwise -- and for
   every single-vehicle campaign -- the queue is bit-identical FIFO.
+* ``burst_durations`` opens the *recovery-window* axis: besides the
+  latched faults of Algorithm 1, every dequeued transition is expanded
+  with intermittent variants of each failure subset -- the fault window
+  opens at the transition-anchored timestamp (inside the profiled mode
+  window SABRE is probing) and closes ``duration`` seconds later.  The
+  latched subsets are enumerated first, in exactly their classic order,
+  so the default (no burst durations) is bit-identical to before; a
+  burst whose recovery would land beyond the mission end is skipped as
+  behaviourally latched-equivalent.
 
 Batched exploration
 -------------------
@@ -95,10 +103,12 @@ from repro.core.pruning import RedundancyPruner
 from repro.core.session import ExplorationSession
 from repro.hinj.faults import (
     EMPTY_SCENARIO,
+    BurstFailure,
     FailureHandle,
     FaultScenario,
     FaultSpec,
     spec_for,
+    validate_burst_durations,
 )
 from repro.sensors.base import SensorId
 
@@ -142,6 +152,7 @@ class SabreSearch:
         max_scenarios_per_dequeue: Optional[int] = None,
         pruner: Optional[RedundancyPruner] = None,
         separation_aware: bool = False,
+        burst_durations: Sequence[float] = (),
     ) -> None:
         self._session = session
         self._failures = list(failures) if failures is not None else list(session.sensor_ids)
@@ -155,7 +166,29 @@ class SabreSearch:
             if pruner is not None
             else RedundancyPruner(role_of=session.sensor_role)
         )
+        self._burst_durations = list(validate_burst_durations(burst_durations))
+        if self._burst_durations and any(
+            isinstance(failure, BurstFailure) for failure in self._failures
+        ):
+            # A burst handle carries its own window; sweeping it again
+            # with burst_durations would schedule conflicting windows.
+            raise ValueError(
+                "failures already contain burst handles: pass either "
+                "pre-burst handles or burst_durations, not both"
+            )
         self._subsets = self._enumerate_subsets()
+        # The per-dequeue expansion walks (subset, window) variants: the
+        # latched subsets first, in exactly the classic order -- so with
+        # no burst durations the variant list IS the subset list and the
+        # search is bit-identical to the pre-window engine -- then every
+        # subset again per burst duration.
+        self._variants: List[Tuple[Tuple[FailureHandle, ...], Optional[float]]] = [
+            (subset, None) for subset in self._subsets
+        ] + [
+            (subset, duration)
+            for duration in self._burst_durations
+            for subset in self._subsets
+        ]
         self.report = SabreReport()
         # --- separation-aware dequeue ordering ------------------------
         # Weighted dequeue only engages when asked for AND the profiling
@@ -216,6 +249,18 @@ class SabreSearch:
     def subsets(self) -> List[Tuple[FailureHandle, ...]]:
         """The ordered failure subsets considered at each injection point."""
         return list(self._subsets)
+
+    @property
+    def variants(self) -> List[Tuple[Tuple[FailureHandle, ...], Optional[float]]]:
+        """The ordered (subset, recovery window) variants actually walked
+        at each injection point: the latched subsets, then the burst
+        expansions (empty ``burst_durations`` leaves only the former)."""
+        return list(self._variants)
+
+    @property
+    def burst_durations(self) -> List[float]:
+        """The recovery windows explored next to the latched faults."""
+        return list(self._burst_durations)
 
     @property
     def separation_aware(self) -> bool:
@@ -459,7 +504,7 @@ class SabreSearch:
                 self._visit_ran = 0
             entry = self._visit_entry
             # The inner loop's exit conditions, in sequential order.
-            if self._visit_cursor >= len(self._subsets):
+            if self._visit_cursor >= len(self._variants):
                 self._end_visit(completed=True)
                 continue
             if not session.budget.can_afford_simulation():
@@ -468,9 +513,19 @@ class SabreSearch:
             if self._per_dequeue is not None and self._visit_ran >= self._per_dequeue:
                 self._end_visit(completed=False)
                 continue
-            subset = self._subsets[self._visit_cursor]
+            subset, duration = self._variants[self._visit_cursor]
+            if (
+                duration is not None
+                and entry.timestamp + duration >= session.mission_duration
+            ):
+                # The window would outlive the mission: behaviourally the
+                # latched variant, which is enumerated separately -- skip
+                # rather than spend budget on a duplicate probe.
+                self._visit_cursor += 1
+                self.report.pruned += 1
+                continue
             scenario = entry.base.extended(
-                spec_for(failure, entry.timestamp) for failure in subset
+                spec_for(failure, entry.timestamp, duration) for failure in subset
             )
             if self._depends_on_in_flight(scenario):
                 # Admission depends on an outcome still in flight: cut the

@@ -7,7 +7,7 @@ from typing import List, Optional, Sequence
 from repro.core.sabre import SabreSearch
 from repro.core.session import ExplorationSession
 from repro.core.strategies.base import SearchStrategy, StrategyFeatures
-from repro.hinj.faults import FailureHandle, FaultScenario
+from repro.hinj.faults import FailureHandle, FaultScenario, validate_burst_durations
 from repro.sensors.base import SensorId
 
 
@@ -22,12 +22,15 @@ class AvisStrategy(SearchStrategy):
     bit-identical to the sequential ``explore()`` loop at every budget
     (see :mod:`repro.core.sabre` for the machinery).
 
-    Fleet extensions (both default off, so classic campaigns are
-    untouched): ``include_traffic_faults`` adds the session's opted-in
-    coordination failures (beacon dropout/freeze/delay) to the fault
-    space alongside the sensor instances, and ``separation_aware``
-    switches the transition dequeue to tightest-profiled-geometry-first
-    ordering.
+    Extensions (all default off, so classic campaigns are untouched):
+    ``include_traffic_faults`` adds the session's opted-in coordination
+    failures (beacon dropout/freeze/delay) to the fault space alongside
+    the sensor instances, ``separation_aware`` switches the transition
+    dequeue to tightest-profiled-geometry-first ordering, and
+    ``burst_durations`` enumerates intermittent (recovering) variants of
+    every failure subset next to the latched ones -- the fault window
+    opens at the transition-anchored injection time and closes after
+    the configured duration.
     """
 
     name = "avis"
@@ -45,6 +48,7 @@ class AvisStrategy(SearchStrategy):
         max_scenarios_per_dequeue: Optional[int] = 6,
         include_traffic_faults: bool = False,
         separation_aware: bool = False,
+        burst_durations: Sequence[float] = (),
     ) -> None:
         self._failures = failures
         self._max_concurrent = max_concurrent_failures
@@ -52,6 +56,7 @@ class AvisStrategy(SearchStrategy):
         self._per_dequeue = max_scenarios_per_dequeue
         self._include_traffic = include_traffic_faults
         self._separation_aware = separation_aware
+        self._burst_durations = validate_burst_durations(burst_durations)
         self.last_search: Optional[SabreSearch] = None
 
     def _make_search(self, session: ExplorationSession) -> SabreSearch:
@@ -75,6 +80,7 @@ class AvisStrategy(SearchStrategy):
             time_quantum_s=self._time_quantum,
             max_scenarios_per_dequeue=self._per_dequeue,
             separation_aware=self._separation_aware,
+            burst_durations=self._burst_durations,
         )
 
     def explore(self, session: ExplorationSession) -> None:

@@ -33,7 +33,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from repro.core.runner import RunResult
 from repro.core.session import ExplorationSession
 from repro.core.strategies.base import SearchStrategy, StrategyFeatures
-from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.hinj.faults import (
+    FaultScenario,
+    FaultSpec,
+    admissible_burst_windows,
+    validate_burst_durations,
+)
 from repro.sensors.base import SensorId, SensorType
 
 
@@ -197,6 +202,7 @@ class BayesianFaultInjection(SearchStrategy):
         rng_seed: int = 7,
         max_concurrent_failures: int = 1,
         learn_online: bool = False,
+        burst_durations: Sequence[float] = (),
     ) -> None:
         self._model = model if model is not None else BfiModel()
         self._granularity = candidate_granularity_s
@@ -208,12 +214,15 @@ class BayesianFaultInjection(SearchStrategy):
         # model as a fresh training example.  The published BFI trains
         # offline only, so this is off by default.
         self._learn_online = learn_online
+        # ``burst_durations`` sweeps intermittent variants of every
+        # candidate after the latched ones (empty = the classic space).
+        self._burst_durations = validate_burst_durations(burst_durations)
         self.labels_issued = 0
         self.simulations_run = 0
         # --- batch-proposal state (reset per session) -----------------
         self._batch_session: Optional[ExplorationSession] = None
         self._batch_stream: Optional[
-            Iterator[Tuple[float, str, Tuple[SensorId, ...]]]
+            Iterator[Tuple[float, str, Tuple[SensorId, ...], Optional[float]]]
         ] = None
         self._batch_finished = False
         self._deferred_updates: List[
@@ -239,6 +248,14 @@ class BayesianFaultInjection(SearchStrategy):
             subsets.extend(itertools.combinations(sensors, size))
         return subsets
 
+    def _candidate_windows(
+        self, session: ExplorationSession
+    ) -> List[Optional[float]]:
+        """Recovery windows swept per candidate site."""
+        return admissible_burst_windows(
+            self._burst_durations, session.mission_duration
+        )
+
     # ------------------------------------------------------------------
     # Exploration
     # ------------------------------------------------------------------
@@ -259,31 +276,28 @@ class BayesianFaultInjection(SearchStrategy):
             )
 
     def explore(self, session: ExplorationSession) -> None:
-        subsets = self._candidate_subsets(session)
-        for time in self._candidate_times(session):
-            mode_category = session.mode_category_at(time)
-            for subset in subsets:
-                if session.budget.exhausted:
-                    return
-                if not session.charge_label():
-                    return
-                self.labels_issued += 1
-                score = self._model.scenario_score(
-                    [sensor_id.sensor_type for sensor_id in subset], mode_category
-                )
-                predicted_unsafe = score >= self._threshold
-                explore_anyway = self._rng.random() < self._exploration_rate
-                if not predicted_unsafe and not explore_anyway:
-                    continue
-                scenario = FaultScenario(
-                    FaultSpec(sensor_id, time) for sensor_id in subset
-                )
-                result = session.run_scenario(scenario)
-                if result is None:
-                    return
-                self.simulations_run += 1
-                if self._learn_online:
-                    self._observe_outcome(subset, mode_category, result)
+        for time, mode_category, subset, duration in self._candidate_stream(session):
+            if session.budget.exhausted:
+                return
+            if not session.charge_label():
+                return
+            self.labels_issued += 1
+            score = self._model.scenario_score(
+                [sensor_id.sensor_type for sensor_id in subset], mode_category
+            )
+            predicted_unsafe = score >= self._threshold
+            explore_anyway = self._rng.random() < self._exploration_rate
+            if not predicted_unsafe and not explore_anyway:
+                continue
+            scenario = FaultScenario(
+                FaultSpec(sensor_id, time, duration) for sensor_id in subset
+            )
+            result = session.run_scenario(scenario)
+            if result is None:
+                return
+            self.simulations_run += 1
+            if self._learn_online:
+                self._observe_outcome(subset, mode_category, result)
 
     # ------------------------------------------------------------------
     # Batch evaluation (the depth-first enumeration and the offline
@@ -293,12 +307,17 @@ class BayesianFaultInjection(SearchStrategy):
     # ------------------------------------------------------------------
     def _candidate_stream(
         self, session: ExplorationSession
-    ) -> Iterator[Tuple[float, str, Tuple[SensorId, ...]]]:
+    ) -> Iterator[Tuple[float, str, Tuple[SensorId, ...], Optional[float]]]:
+        """The candidate order shared by :meth:`explore` and
+        :meth:`propose_batch`: per site, the latched subsets first (the
+        exact classic order), then each burst duration's sweep."""
         subsets = self._candidate_subsets(session)
+        windows = self._candidate_windows(session)
         for time in self._candidate_times(session):
             mode_category = session.mode_category_at(time)
-            for subset in subsets:
-                yield time, mode_category, subset
+            for window in windows:
+                for subset in subsets:
+                    yield time, mode_category, subset, window
 
     def _apply_deferred_updates(self, session: ExplorationSession) -> None:
         """Consume the outcomes of the previous batch, in proposal order.
@@ -355,7 +374,7 @@ class BayesianFaultInjection(SearchStrategy):
             if entry is None:
                 self._batch_finished = True
                 break
-            time, mode_category, subset = entry
+            time, mode_category, subset, duration = entry
             if session.budget.exhausted or not session.charge_label():
                 self._batch_finished = True
                 break
@@ -367,7 +386,9 @@ class BayesianFaultInjection(SearchStrategy):
             explore_anyway = self._rng.random() < self._exploration_rate
             if not predicted_unsafe and not explore_anyway:
                 continue
-            scenario = FaultScenario(FaultSpec(sensor_id, time) for sensor_id in subset)
+            scenario = FaultScenario(
+                FaultSpec(sensor_id, time, duration) for sensor_id in subset
+            )
             if session.was_explored(scenario) or scenario in seen:
                 # The sequential loop re-runs the scenario for free (the
                 # session serves the cached result without a charge) and

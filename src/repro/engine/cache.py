@@ -155,14 +155,21 @@ def scenario_fingerprint(scenario: FaultScenario) -> str:
     Sensor faults render exactly as before; coordination faults render
     through their vehicle-namespaced labels (``traffic:v1:dropout``,
     including the delay parameter for delayed beacons), so traffic-fault
-    scenarios can never collide with sensor-fault cache entries.
+    scenarios can never collide with sensor-fault cache entries.  A
+    recovery window renders as a ``~duration`` term -- emitted only for
+    intermittent faults, so every latched (default) scenario keeps its
+    exact pre-window fingerprint and existing cache directories stay
+    valid.
     """
     rendered = []
     for fault in scenario:
         label = (
             fault.sensor_id.label if isinstance(fault, FaultSpec) else fault.label
         )
-        rendered.append(f"{label}@{fault.start_time!r}")
+        term = f"{label}@{fault.start_time!r}"
+        if fault.duration_s is not None:
+            term += f"~{fault.duration_s!r}"
+        rendered.append(term)
     return ";".join(rendered)
 
 

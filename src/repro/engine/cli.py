@@ -99,6 +99,11 @@ STRATEGIES: Dict[str, Callable[[], object]] = {
 #: honest option: a cell tagged ``+traffic`` really injects them.
 TRAFFIC_STRATEGIES = frozenset({"avis", "random"})
 
+#: Strategies that can sweep intermittent (recovering) fault windows
+#: next to the latched faults; ``--burst-duration`` is rejected for any
+#: other strategy so a cell tagged ``+burst`` really explores bursts.
+BURST_STRATEGIES = frozenset({"avis", "stratified-bfi", "bfi"})
+
 
 def _workload_factory(name: str, altitude: float, box_side: float, fleet_size: int):
     if name == "auto":
@@ -161,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
         "strategy)",
     )
     parser.add_argument(
+        "--burst-duration", nargs="+", type=float, default=None,
+        metavar="SECONDS",
+        help="explore intermittent faults: besides the latched faults, "
+        "sweep recovering variants whose fault window closes after the "
+        "given duration(s).  The default fault model (latched, never "
+        "recovering) is unchanged.  Applies to the strategies that "
+        f"enumerate burst windows ({'/'.join(sorted(BURST_STRATEGIES))}).",
+    )
+    parser.add_argument(
         "--strategy", nargs="+", choices=sorted(STRATEGIES),
         default=["avis", "stratified-bfi", "bfi", "random"],
         help="search strategies to compare",
@@ -204,34 +218,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _burst_durations(args: argparse.Namespace) -> Tuple[float, ...]:
+    """The requested burst windows (empty when the flag is absent)."""
+    return tuple(args.burst_duration) if args.burst_duration else ()
+
+
 def _strategy_factory(strategy_name: str, args: argparse.Namespace):
-    """The per-cell strategy factory, honouring the SABRE knobs."""
+    """The per-cell strategy factory, honouring the SABRE/burst knobs."""
+    bursts = _burst_durations(args)
     if strategy_name == "avis" and (
-        args.per_dequeue is not None or args.traffic_faults or args.separation_aware
+        args.per_dequeue is not None
+        or args.traffic_faults
+        or args.separation_aware
+        or bursts
     ):
         kwargs = dict(
             include_traffic_faults=args.traffic_faults,
             separation_aware=args.separation_aware,
+            burst_durations=bursts,
         )
         if args.per_dequeue is not None:
             kwargs["max_scenarios_per_dequeue"] = (
                 None if args.per_dequeue == 0 else args.per_dequeue
             )
         return lambda: AvisStrategy(**kwargs)
+    if strategy_name == "stratified-bfi" and bursts:
+        return lambda: StratifiedBFI(burst_durations=bursts)
+    if strategy_name == "bfi" and bursts:
+        return lambda: BayesianFaultInjection(burst_durations=bursts)
     return STRATEGIES[strategy_name]
 
 
 def _strategy_id(strategy_name: str, args: argparse.Namespace) -> str:
     """The cell-id fragment for a strategy; default knobs keep the
     historical ids so existing stream files still resume."""
+    bursts = _burst_durations(args)
+    burst_fragment = (
+        "+burst" + ",".join(f"{duration:g}" for duration in bursts)
+        if bursts and strategy_name in BURST_STRATEGIES
+        else ""
+    )
     if strategy_name != "avis":
-        return strategy_name
+        return strategy_name + burst_fragment
     fragment = "avis"
     if args.per_dequeue is not None:
         fragment += f"@pd{args.per_dequeue}"
     if args.separation_aware:
         fragment += "+sep"
-    return fragment
+    return fragment + burst_fragment
 
 
 def parse_vehicle_spec(text: str) -> VehicleSpec:
@@ -310,6 +344,20 @@ def build_cells(args: argparse.Namespace) -> List[GridCell]:
                 "--traffic-faults applies only to strategies that explore "
                 f"the coordination fault space "
                 f"({', '.join(sorted(TRAFFIC_STRATEGIES))}); "
+                f"got: {', '.join(unsupported)}"
+            )
+    if args.burst_duration:
+        from repro.hinj.faults import validate_burst_durations
+
+        try:
+            validate_burst_durations(args.burst_duration)
+        except ValueError:
+            raise ValueError("--burst-duration values must be positive seconds")
+        unsupported = sorted(set(args.strategy) - BURST_STRATEGIES)
+        if unsupported:
+            raise ValueError(
+                "--burst-duration applies only to strategies that sweep "
+                f"recovery windows ({', '.join(sorted(BURST_STRATEGIES))}); "
                 f"got: {', '.join(unsupported)}"
             )
     if args.per_dequeue is not None:

@@ -25,11 +25,13 @@ This package reproduces both halves in-process:
 """
 
 from repro.hinj.faults import (
+    BurstFailure,
     FaultScenario,
     FaultSpec,
     TrafficFailure,
     TrafficFaultKind,
     TrafficFaultSpec,
+    burst_failures,
     default_traffic_failures,
     scenario_from_pairs,
     spec_for,
@@ -38,6 +40,7 @@ from repro.hinj.instrumentation import HinjInterface, ModeTransition
 from repro.hinj.scheduler import FaultScheduler, InjectionRecord
 
 __all__ = [
+    "BurstFailure",
     "FaultScenario",
     "FaultScheduler",
     "FaultSpec",
@@ -47,6 +50,7 @@ __all__ = [
     "TrafficFailure",
     "TrafficFaultKind",
     "TrafficFaultSpec",
+    "burst_failures",
     "default_traffic_failures",
     "scenario_from_pairs",
     "spec_for",

@@ -1,4 +1,4 @@
-"""Fault specifications: what to fail, and when.
+"""Fault specifications: what to fail, when -- and for how long.
 
 The paper's scheduler "represents a fault injection scenario as a set of
 tuples (Timestamp, Fault), where the fault component describes the
@@ -16,6 +16,22 @@ one sensor instance.  Both spec kinds live in the same
 :class:`FaultScenario`, hash together, and are enumerated by the search
 strategies through the same failure-handle interface
 (:func:`spec_for`).
+
+Intermittent faults
+-------------------
+
+Both spec kinds carry an optional ``duration_s``.  The default of
+``None`` is the paper's latched model -- the fault becomes active at
+``start_time`` and never recovers, and every hash, label, sort order,
+replay plan and cache fingerprint is bit-identical to the pre-window
+grammar.  A finite ``duration_s`` makes the fault *intermittent*: it is
+active only inside ``[start_time, start_time + duration_s)``, after
+which the sensor read path (or the traffic channel) recovers.  Recovery
+timing is itself a bug surface -- a GPS glitch that clears just after a
+fail-safe engaged, a beacon dropout that ends while the follower is
+rushing to catch up -- which is why the search strategies can enumerate
+:class:`BurstFailure` handles scheduling bounded fault windows alongside
+the latched ones.
 """
 
 from __future__ import annotations
@@ -27,8 +43,69 @@ from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tupl
 from repro.sensors.base import SensorId, SensorType
 
 
-@dataclass(frozen=True, order=True)
-class FaultSpec:
+class _WindowedSpec:
+    """Shared recovery-window behaviour of both fault spec kinds.
+
+    A spec with ``duration_s=None`` is latched (the classic model); a
+    finite duration bounds the active window.  The mixin also supplies a
+    total ordering through ``sort_key`` so specs with mixed latched /
+    windowed durations sort without comparing ``None`` to a float.
+    """
+
+    __slots__ = ()
+
+    def active_at(self, time: float) -> bool:
+        """True when the fault should be in effect at ``time``."""
+        if time < self.start_time:
+            return False
+        return self.duration_s is None or time < self.start_time + self.duration_s
+
+    @property
+    def recovers(self) -> bool:
+        """True for intermittent faults (a finite recovery window)."""
+        return self.duration_s is not None
+
+    @property
+    def end_time(self) -> Optional[float]:
+        """Time the fault recovers, or None for latched faults."""
+        if self.duration_s is None:
+            return None
+        return self.start_time + self.duration_s
+
+    def _window_suffix(self) -> str:
+        """Description suffix for the recovery window ('' when latched)."""
+        if self.duration_s is None:
+            return ""
+        return f" for {self.duration_s:g}s"
+
+    @staticmethod
+    def _duration_key(duration: Optional[float]) -> float:
+        """Sortable stand-in for a duration (latched = infinite window)."""
+        return float("inf") if duration is None else duration
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, _WindowedSpec):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other) -> bool:
+        if not isinstance(other, _WindowedSpec):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other) -> bool:
+        if not isinstance(other, _WindowedSpec):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other) -> bool:
+        if not isinstance(other, _WindowedSpec):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+@dataclass(frozen=True)
+class FaultSpec(_WindowedSpec):
     """A single clean sensor failure scheduled at a simulation time.
 
     Attributes
@@ -37,20 +114,23 @@ class FaultSpec:
         The sensor instance that stops communicating.
     start_time:
         Simulation time (seconds) at which the failure becomes active.
-        From that moment on, every read of the instance reports failure
-        and the instance never recovers within the run.
+        From that moment on, every read of the instance reports failure.
+    duration_s:
+        Optional recovery window.  ``None`` (the default) is the paper's
+        latched model: the instance never recovers within the run.  A
+        finite duration makes the failure intermittent: reads recover
+        once the window closes.
     """
 
     sensor_id: SensorId
     start_time: float
+    duration_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.start_time < 0.0:
             raise ValueError("a fault cannot start before the simulation begins")
-
-    def active_at(self, time: float) -> bool:
-        """True when the failure should be in effect at ``time``."""
-        return time >= self.start_time
+        if self.duration_s is not None and self.duration_s <= 0.0:
+            raise ValueError("duration_s, when given, must be positive")
 
     @property
     def vehicle(self) -> int:
@@ -61,16 +141,27 @@ class FaultSpec:
         """This fault re-namespaced onto ``vehicle`` (self when unchanged)."""
         if vehicle == self.sensor_id.vehicle:
             return self
-        return FaultSpec(self.sensor_id.for_vehicle(vehicle), self.start_time)
+        return FaultSpec(
+            self.sensor_id.for_vehicle(vehicle), self.start_time, self.duration_s
+        )
 
     def sort_key(self) -> tuple:
         """Stable ordering key; sensor faults sort before traffic faults
-        in exactly the pre-traffic order among themselves."""
-        return (0, self.sensor_id._sort_key(), self.start_time)
+        in exactly the pre-traffic order among themselves (the duration
+        term only breaks ties between otherwise-identical specs)."""
+        return (
+            0,
+            self.sensor_id._sort_key(),
+            self.start_time,
+            self._duration_key(self.duration_s),
+        )
 
     def describe(self) -> str:
         """Short human readable description used in reports."""
-        return f"{self.sensor_id.label} fails at t={self.start_time:.2f}s"
+        return (
+            f"{self.sensor_id.label} fails at t={self.start_time:.2f}s"
+            + self._window_suffix()
+        )
 
 
 class TrafficFaultKind(enum.Enum):
@@ -94,8 +185,15 @@ class TrafficFaultKind(enum.Enum):
         return self.value
 
 
+#: Default ``extra_delay_s`` of the coordination fault family.  Non-DELAY
+#: specs are canonicalised to it: the parameter is meaningless for a
+#: dropout or a freeze, and letting it vary would split behaviourally
+#: identical scenarios into distinct hash/sort identities.
+DEFAULT_EXTRA_DELAY_S = 1.0
+
+
 @dataclass(frozen=True)
-class TrafficFaultSpec:
+class TrafficFaultSpec(_WindowedSpec):
     """A coordination fault on one fleet member's beacon broadcast.
 
     Attributes
@@ -106,16 +204,25 @@ class TrafficFaultSpec:
     kind:
         The fault family (:class:`TrafficFaultKind`).
     start_time:
-        Simulation time (seconds) at which the fault becomes active; it
-        never recovers within the run, matching the sensor fault model.
+        Simulation time (seconds) at which the fault becomes active.
     extra_delay_s:
         Additional delivery delay for ``DELAY`` faults, in seconds.
+        Meaningless for the other kinds and therefore canonicalised to
+        the default there, so two dropouts differing only in this field
+        are one scenario (one hash, one label, one cache entry).
+    duration_s:
+        Optional recovery window.  ``None`` (the default) latches the
+        fault for the rest of the run, matching the sensor fault model;
+        a finite duration recovers the channel once the window closes
+        (dropout ends and beacons resume, a freeze thaws back to live
+        payloads, a delay reverts to the base latency).
     """
 
     vehicle: int
     kind: TrafficFaultKind
     start_time: float
-    extra_delay_s: float = 1.0
+    extra_delay_s: float = DEFAULT_EXTRA_DELAY_S
+    duration_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.vehicle < 0:
@@ -124,10 +231,16 @@ class TrafficFaultSpec:
             raise ValueError("a fault cannot start before the simulation begins")
         if self.extra_delay_s < 0.0:
             raise ValueError("extra_delay_s cannot be negative")
-
-    def active_at(self, time: float) -> bool:
-        """True when the fault should be in effect at ``time``."""
-        return time >= self.start_time
+        if self.duration_s is not None and self.duration_s <= 0.0:
+            raise ValueError("duration_s, when given, must be positive")
+        if (
+            self.kind != TrafficFaultKind.DELAY
+            and self.extra_delay_s != DEFAULT_EXTRA_DELAY_S
+        ):
+            # Canonicalise: only DELAY faults consume the parameter, so
+            # equality, hashing, sorting and labels must not depend on
+            # it for the other kinds.
+            object.__setattr__(self, "extra_delay_s", DEFAULT_EXTRA_DELAY_S)
 
     @property
     def label(self) -> str:
@@ -141,14 +254,23 @@ class TrafficFaultSpec:
         """This fault re-namespaced onto ``vehicle`` (self when unchanged)."""
         if vehicle == self.vehicle:
             return self
-        return TrafficFaultSpec(vehicle, self.kind, self.start_time, self.extra_delay_s)
+        return TrafficFaultSpec(
+            vehicle, self.kind, self.start_time, self.extra_delay_s, self.duration_s
+        )
 
     def sort_key(self) -> tuple:
-        return (1, self.vehicle, self.kind.value, self.extra_delay_s, self.start_time)
+        return (
+            1,
+            self.vehicle,
+            self.kind.value,
+            self.extra_delay_s,
+            self.start_time,
+            self._duration_key(self.duration_s),
+        )
 
     def describe(self) -> str:
         """Short human readable description used in reports."""
-        return f"{self.label} at t={self.start_time:.2f}s"
+        return f"{self.label} at t={self.start_time:.2f}s" + self._window_suffix()
 
 
 #: Either fault kind a scenario may carry.
@@ -166,16 +288,29 @@ class TrafficFailure:
 
     vehicle: int
     kind: TrafficFaultKind
-    extra_delay_s: float = 1.0
+    extra_delay_s: float = DEFAULT_EXTRA_DELAY_S
+
+    def __post_init__(self) -> None:
+        if (
+            self.kind != TrafficFaultKind.DELAY
+            and self.extra_delay_s != DEFAULT_EXTRA_DELAY_S
+        ):
+            # Mirror the spec-level canonicalisation: two handles that
+            # produce the same scheduled fault must be one handle.
+            object.__setattr__(self, "extra_delay_s", DEFAULT_EXTRA_DELAY_S)
 
     @property
     def label(self) -> str:
         """Vehicle-namespaced label matching the spec it produces."""
         return TrafficFaultSpec(self.vehicle, self.kind, 0.0, self.extra_delay_s).label
 
-    def spec_at(self, time: float) -> TrafficFaultSpec:
+    def spec_at(
+        self, time: float, duration_s: Optional[float] = None
+    ) -> TrafficFaultSpec:
         """The scheduled fault this handle denotes at ``time``."""
-        return TrafficFaultSpec(self.vehicle, self.kind, time, self.extra_delay_s)
+        return TrafficFaultSpec(
+            self.vehicle, self.kind, time, self.extra_delay_s, duration_s
+        )
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.label
@@ -183,15 +318,101 @@ class TrafficFailure:
 
 #: A failure handle the strategies can schedule: a sensor instance or a
 #: traffic-channel handle.
-FailureHandle = Union[SensorId, TrafficFailure]
+FailureHandle = Union[SensorId, TrafficFailure, "BurstFailure"]
 
 
-def spec_for(failure: FailureHandle, time: float) -> AnyFaultSpec:
+@dataclass(frozen=True)
+class BurstFailure:
+    """A failure handle with a bounded (recovering) fault window.
+
+    Wraps a base handle -- a sensor instance or a traffic-channel handle
+    -- and schedules it as an *intermittent* fault: active for
+    ``duration_s`` seconds from the injection time, then recovered.  The
+    search strategies enumerate burst handles next to the latched ones,
+    so recovery-window timing is explored like any other fault axis.
+    """
+
+    failure: Union[SensorId, TrafficFailure]
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if isinstance(self.failure, BurstFailure):
+            raise ValueError("burst handles do not nest")
+        if self.duration_s <= 0.0:
+            raise ValueError("a burst needs a positive duration")
+
+    @property
+    def label(self) -> str:
+        """The base handle's label with the window, e.g. ``gps[0]~3s``."""
+        return f"{failure_label(self.failure)}~{self.duration_s:g}s"
+
+    def spec_at(self, time: float) -> AnyFaultSpec:
+        """The intermittent fault this handle denotes at ``time``."""
+        return spec_for(self.failure, time, self.duration_s)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+def burst_failures(
+    failures: Iterable[FailureHandle], durations: Sequence[float]
+) -> List[BurstFailure]:
+    """Burst variants of ``failures``, duration-major (all handles at the
+    first duration, then the next), skipping handles that already carry a
+    window."""
+    return [
+        BurstFailure(failure, duration)
+        for duration in durations
+        for failure in failures
+        if not isinstance(failure, BurstFailure)
+    ]
+
+
+def validate_burst_durations(durations: Sequence[float]) -> Tuple[float, ...]:
+    """Validate a burst-duration sweep; returns it as a tuple.
+
+    The one shared gate every burst-capable surface (SABRE, the BFI
+    family, ``Avis``, the CLI) applies to its ``burst_durations``.
+    """
+    durations = tuple(durations)
+    if any(duration <= 0.0 for duration in durations):
+        raise ValueError("burst durations must be positive")
+    return durations
+
+
+def admissible_burst_windows(
+    durations: Sequence[float], mission_duration: float
+) -> List[Optional[float]]:
+    """The recovery windows a strategy sweeps per candidate site.
+
+    The latched window (``None``) always comes first -- in exactly the
+    classic order -- followed by each burst duration that can actually
+    recover within the mission; a window that outlives the mission is
+    behaviourally the latched fault and is dropped rather than explored
+    twice.
+    """
+    windows: List[Optional[float]] = [None]
+    windows.extend(
+        duration for duration in durations if duration < mission_duration
+    )
+    return windows
+
+
+def spec_for(
+    failure: FailureHandle, time: float, duration_s: Optional[float] = None
+) -> AnyFaultSpec:
     """Schedule ``failure`` at ``time``: the one constructor the search
-    strategies need, regardless of the fault family."""
-    if isinstance(failure, TrafficFailure):
+    strategies need, regardless of the fault family.  ``duration_s``
+    bounds the fault window (None latches, as the paper's model does);
+    a :class:`BurstFailure` handle carries its own window and rejects a
+    conflicting override."""
+    if isinstance(failure, BurstFailure):
+        if duration_s is not None and duration_s != failure.duration_s:
+            raise ValueError("a burst handle already carries its own duration")
         return failure.spec_at(time)
-    return FaultSpec(failure, time)
+    if isinstance(failure, TrafficFailure):
+        return failure.spec_at(time, duration_s)
+    return FaultSpec(failure, time, duration_s)
 
 
 def failure_label(failure: FailureHandle) -> str:
@@ -275,6 +496,19 @@ class FaultScenario:
         return any(isinstance(f, TrafficFaultSpec) for f in self._faults)
 
     @property
+    def recovering_faults(self) -> List[AnyFaultSpec]:
+        """The intermittent faults (finite ``duration_s``), sorted."""
+        return sorted(
+            (f for f in self._faults if f.duration_s is not None),
+            key=_spec_sort_key,
+        )
+
+    @property
+    def has_recovering_faults(self) -> bool:
+        """True when at least one fault recovers within the run."""
+        return any(f.duration_s is not None for f in self._faults)
+
+    @property
     def sensor_ids(self) -> List[SensorId]:
         """The failed sensor instances, sorted, without duplicates."""
         return sorted({fault.sensor_id for fault in self.sensor_faults})
@@ -302,10 +536,28 @@ class FaultScenario:
             return None
         return min(candidates, key=lambda fault: fault.start_time)
 
+    def active_fault_for(
+        self, sensor_id: SensorId, time: float
+    ) -> Optional[FaultSpec]:
+        """The fault actively failing ``sensor_id`` at ``time``, if any.
+
+        With latched faults this is exactly :meth:`fault_for` whenever
+        that fault has started; with recovery windows a sensor can carry
+        several disjoint windows, and the earliest-starting *active* one
+        is the fault in effect.
+        """
+        active = [
+            f
+            for f in self.sensor_faults
+            if f.sensor_id == sensor_id and f.active_at(time)
+        ]
+        if not active:
+            return None
+        return min(active, key=lambda fault: fault.start_time)
+
     def should_fail(self, sensor_id: SensorId, time: float) -> bool:
         """True when ``sensor_id`` should report failure at ``time``."""
-        fault = self.fault_for(sensor_id)
-        return fault is not None and fault.active_at(time)
+        return self.active_fault_for(sensor_id, time) is not None
 
     # ------------------------------------------------------------------
     # Fleet namespacing
@@ -343,16 +595,30 @@ class FaultScenario:
         return FaultScenario(set(self._faults) | set(extra))
 
     def shifted(self, offset: float) -> "FaultScenario":
-        """Return a copy with every fault time shifted by ``offset``."""
+        """Return a copy with every fault time shifted by ``offset``.
+
+        Start times clamp at 0.0 (a fault cannot precede the run), so a
+        large negative offset can collapse previously distinct faults --
+        and therefore scenarios -- onto one another.  Recovery windows
+        (``duration_s``) shift with their fault unchanged.
+        """
         shifted_faults: List[AnyFaultSpec] = []
         for fault in self._faults:
             start = max(fault.start_time + offset, 0.0)
             if isinstance(fault, TrafficFaultSpec):
                 shifted_faults.append(
-                    TrafficFaultSpec(fault.vehicle, fault.kind, start, fault.extra_delay_s)
+                    TrafficFaultSpec(
+                        fault.vehicle,
+                        fault.kind,
+                        start,
+                        fault.extra_delay_s,
+                        fault.duration_s,
+                    )
                 )
             else:
-                shifted_faults.append(FaultSpec(fault.sensor_id, start))
+                shifted_faults.append(
+                    FaultSpec(fault.sensor_id, start, fault.duration_s)
+                )
         return FaultScenario(shifted_faults)
 
     def describe(self) -> str:
@@ -378,7 +644,7 @@ def default_traffic_failures(
         TrafficFaultKind.FREEZE,
         TrafficFaultKind.DELAY,
     ),
-    extra_delay_s: float = 1.0,
+    extra_delay_s: float = DEFAULT_EXTRA_DELAY_S,
 ) -> List[TrafficFailure]:
     """The default coordination fault space of a fleet: one handle per
     (vehicle, fault kind), in vehicle-major order."""

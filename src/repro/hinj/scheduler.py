@@ -15,25 +15,38 @@ replay uses to line injections up with mode transitions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set
 
-from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario
+from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario, FaultSpec
 from repro.sensors.base import SensorId
 
 
 @dataclass(frozen=True)
 class InjectionRecord:
-    """A fault the scheduler actually injected during a run."""
+    """A fault the scheduler actually injected during a run.
+
+    ``duration_s`` and ``recovered_time`` describe intermittent faults:
+    the scheduled recovery window, and the first read at which the
+    instance actually reported healthy again after having failed.  Both
+    stay ``None`` for the paper's latched faults.
+    """
 
     sensor_id: SensorId
     scheduled_time: float
     injected_time: float
+    duration_s: Optional[float] = None
+    recovered_time: Optional[float] = None
 
     @property
     def delay(self) -> float:
         """Latency between the scheduled time and the read that applied it."""
         return self.injected_time - self.scheduled_time
+
+    @property
+    def recovered(self) -> bool:
+        """True once the fault's recovery has taken effect."""
+        return self.recovered_time is not None
 
 
 class FaultScheduler:
@@ -41,7 +54,12 @@ class FaultScheduler:
 
     def __init__(self, scenario: FaultScenario = EMPTY_SCENARIO) -> None:
         self._scenario = scenario
-        self._injected: Dict[SensorId, InjectionRecord] = {}
+        # Keyed by fault spec (not sensor id): a scenario can schedule
+        # several disjoint recovery windows on one instance, and each
+        # applied window gets its own record -- mirroring the traffic
+        # channel's per-fault injection log, and keeping replay plans
+        # complete for multi-window scenarios.
+        self._injected: Dict[FaultSpec, InjectionRecord] = {}
         self._query_count = 0
 
     # ------------------------------------------------------------------
@@ -67,18 +85,39 @@ class FaultScheduler:
     # The libhinj query (Step 4 of Figure 7)
     # ------------------------------------------------------------------
     def should_fail(self, sensor_id: SensorId, time: float) -> bool:
-        """Answer a driver's "should this read fail?" query."""
+        """Answer a driver's "should this read fail?" query.
+
+        With latched faults the answer, once positive, stays positive
+        for the rest of the run.  An intermittent fault's window can
+        close, after which the answer reverts to False -- the driver
+        recovers -- and that fault's injection record is stamped with
+        the first read at or after the window closed (a latched fault
+        never recovers, so its record never gains a recovery stamp).
+        """
         self._query_count += 1
-        fault = self._scenario.fault_for(sensor_id)
-        if fault is None or not fault.active_at(time):
+        self._stamp_recoveries(sensor_id, time)
+        fault = self._scenario.active_fault_for(sensor_id, time)
+        if fault is None:
             return False
-        if sensor_id not in self._injected:
-            self._injected[sensor_id] = InjectionRecord(
+        if fault not in self._injected:
+            self._injected[fault] = InjectionRecord(
                 sensor_id=sensor_id,
                 scheduled_time=fault.start_time,
                 injected_time=time,
+                duration_s=fault.duration_s,
             )
         return True
+
+    def _stamp_recoveries(self, sensor_id: SensorId, time: float) -> None:
+        """Stamp applied faults of ``sensor_id`` whose window has closed."""
+        for fault, record in list(self._injected.items()):
+            if (
+                record.sensor_id == sensor_id
+                and record.recovered_time is None
+                and fault.end_time is not None
+                and time >= fault.end_time
+            ):
+                self._injected[fault] = replace(record, recovered_time=time)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -90,18 +129,27 @@ class FaultScheduler:
 
     @property
     def injections(self) -> List[InjectionRecord]:
-        """Faults that have actually been applied, in injection order."""
-        return sorted(self._injected.values(), key=lambda record: record.injected_time)
+        """Faults that have actually been applied, in injection order.
+
+        One record per applied fault spec: a sensor with several
+        disjoint recovery windows contributes one record per window
+        that fired.
+        """
+        return sorted(
+            self._injected.values(),
+            key=lambda record: (record.injected_time, record.sensor_id),
+        )
 
     @property
     def injected_sensor_ids(self) -> Set[SensorId]:
         """The sensor instances failed so far."""
-        return set(self._injected)
+        return {record.sensor_id for record in self._injected.values()}
 
     def pending_faults(self, time: float) -> List[SensorId]:
         """Sensor instances with scheduled faults not yet applied at ``time``."""
         pending = []
         for fault in self._scenario:
-            if fault.sensor_id not in self._injected and fault.start_time > time:
-                pending.append(fault.sensor_id)
+            if fault not in self._injected and fault.start_time > time:
+                if fault.sensor_id not in pending:
+                    pending.append(fault.sensor_id)
         return pending

@@ -12,8 +12,8 @@ Because the channel is the only path one vehicle's view of another
 takes, it is also the fault injection surface for the coordination
 fault family (:class:`~repro.hinj.faults.TrafficFaultSpec`):
 
-* **dropout** -- beacons broadcast by the faulted vehicle at or after
-  the start time are never delivered; receivers' last view of it ages
+* **dropout** -- beacons broadcast by the faulted vehicle while the
+  fault is active are never delivered; receivers' last view of it ages
   out.
 * **freeze** -- beacons keep being delivered on schedule but carry the
   last pre-fault position/velocity payload, so receivers track a
@@ -21,14 +21,21 @@ fault family (:class:`~repro.hinj.faults.TrafficFaultSpec`):
 * **delay** -- beacons are delivered with an extra fixed latency, so
   receivers track where the vehicle *was*.
 
-Injections are recorded (first beacon each fault affected), mirroring
-the sensor scheduler's injection log.
+A fault with a finite ``duration_s`` *recovers*: once its window closes
+the dropout ends and beacons resume flowing, a freeze thaws back to the
+live payload, and a delay reverts to the channel's base latency.  The
+default (``duration_s=None``) latches for the rest of the run, exactly
+as before.
+
+Injections are recorded (first beacon each fault affected, plus the
+first post-recovery beacon for intermittent faults), mirroring the
+sensor scheduler's injection log.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.hinj.faults import TrafficFaultKind, TrafficFaultSpec
@@ -56,18 +63,33 @@ class TrafficBeacon:
 
 @dataclass(frozen=True)
 class TrafficInjectionRecord:
-    """A coordination fault the channel actually applied during a run."""
+    """A coordination fault the channel actually applied during a run.
+
+    ``recovered_time`` is the time of the first beacon broadcast after
+    an intermittent fault's window closed -- the moment the channel's
+    behaviour actually reverted.  It stays ``None`` for latched faults
+    (and for windows that outlive the run).
+    """
 
     fault: TrafficFaultSpec
     scheduled_time: float
     injected_time: float
+    recovered_time: Optional[float] = None
+
+    @property
+    def recovered(self) -> bool:
+        """True once the fault's recovery has taken effect on the air."""
+        return self.recovered_time is not None
 
     def describe(self) -> str:
         """One-line description for reports."""
-        return (
+        text = (
             f"{self.fault.label} scheduled t={self.scheduled_time:.2f}s, "
             f"first effect t={self.injected_time:.2f}s"
         )
+        if self.recovered_time is not None:
+            text += f", recovered t={self.recovered_time:.2f}s"
+        return text
 
 
 class TrafficChannel:
@@ -143,22 +165,32 @@ class TrafficChannel:
         position: Tuple[float, float, float],
         velocity: Tuple[float, float, float],
     ) -> None:
-        """Broadcast one beacon from ``vehicle``, applying active faults."""
+        """Broadcast one beacon from ``vehicle``, applying active faults.
+
+        Every active fault on the sender is *recorded* (and recoveries
+        of previously-applied faults stamped) before any effect is
+        applied, so the injection log stays complete even when a dropout
+        ultimately swallows the beacon -- a co-scheduled freeze or delay
+        on the same vehicle still appears in :attr:`injections`, and the
+        freeze's ghost payload is still captured.
+        """
         beacon = TrafficBeacon(
             vehicle=vehicle, time=time, position=position, velocity=velocity
         )
         self.beacons_sent += 1
         latency = self.latency_steps
+        dropped = False
         for fault in self._faults.get(vehicle, ()):
             if not fault.active_at(time):
-                # The fault is still in the future: remember the healthy
-                # payload so a freeze can replay it later.
+                # Still in the future, or recovered: record the first
+                # post-recovery broadcast, and remember the healthy
+                # payload so a (later) freeze can replay it.
+                self._record_recovery(fault, time)
                 continue
             self._record_injection(fault, time)
             if fault.kind == TrafficFaultKind.DROPOUT:
-                self.beacons_dropped += 1
-                return
-            if fault.kind == TrafficFaultKind.FREEZE:
+                dropped = True
+            elif fault.kind == TrafficFaultKind.FREEZE:
                 ghost = self._frozen.get(vehicle)
                 if ghost is not None:
                     # Apparently fresh, payload frozen at the pre-fault state.
@@ -174,6 +206,9 @@ class TrafficChannel:
                 latency += max(int(round(fault.extra_delay_s / self.dt)), 0)
         if vehicle not in self._frozen or not self._is_frozen(vehicle, time):
             self._frozen[vehicle] = beacon
+        if dropped:
+            self.beacons_dropped += 1
+            return
         self._in_flight[vehicle].append((self._step + latency, beacon))
 
     def _is_frozen(self, vehicle: int, time: float) -> bool:
@@ -188,6 +223,17 @@ class TrafficChannel:
                 fault=fault, scheduled_time=fault.start_time, injected_time=time
             )
 
+    def _record_recovery(self, fault: TrafficFaultSpec, time: float) -> None:
+        """Stamp the first post-recovery broadcast of an applied fault."""
+        record = self._injected.get(fault)
+        if (
+            record is not None
+            and record.recovered_time is None
+            and fault.end_time is not None
+            and time >= fault.end_time
+        ):
+            self._injected[fault] = replace(record, recovered_time=time)
+
     # ------------------------------------------------------------------
     # Consuming
     # ------------------------------------------------------------------
@@ -198,8 +244,16 @@ class TrafficChannel:
         Own-ship queries (``receiver == sender``) raise: real traffic
         receivers filter out their own returns, and a vehicle needing
         its own state has its navigation estimate -- asking the channel
-        for it is a workload bug.
+        for it is a workload bug.  Out-of-range indices raise for the
+        same reason: a fleet-index typo must not read as "no beacon
+        yet" forever.
         """
+        for role, index in (("receiver", receiver), ("sender", sender)):
+            if not 0 <= index < self.fleet_size:
+                raise ValueError(
+                    f"{role} {index} is not part of this fleet of "
+                    f"{self.fleet_size} vehicle(s)"
+                )
         if receiver == sender:
             raise ValueError("a vehicle does not track itself over traffic")
         return self._delivered.get(sender)

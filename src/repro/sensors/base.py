@@ -10,8 +10,11 @@ must be comparable) and bug replay.
 The ``read()`` method mirrors the structure the paper describes for
 ``libhinj``: before the reading is handed to the firmware, an
 instrumentation hook is consulted; if it answers that the instance should
-fail, the reading is replaced by a failure record and the instance stays
-failed for the rest of the run.
+fail, the reading is replaced by a failure record.  With the paper's
+latched fault model the hook's answer never reverts, so the instance
+stays failed for the rest of the run; an intermittent fault's scheduler
+stops failing the instance once its recovery window closes, and the
+driver reports healthy readings again from the next read on.
 """
 
 from __future__ import annotations
@@ -172,6 +175,7 @@ class SensorDriver:
         self.role = role
         self._rng = random.Random(noise_seed * 7919 + instance * 104729 + 1)
         self._failed = False
+        self._hook_failed = False
         self._fail_hook: Optional[FailDecision] = None
         self._read_count = 0
 
@@ -195,13 +199,13 @@ class SensorDriver:
     # ------------------------------------------------------------------
     @property
     def failed(self) -> bool:
-        """True once the instance has suffered a clean failure."""
-        return self._failed
+        """True while the instance is suffering a clean failure."""
+        return self._failed or self._hook_failed
 
     @property
     def healthy(self) -> bool:
         """True while the instance has not failed."""
-        return not self._failed
+        return not self.failed
 
     @property
     def read_count(self) -> int:
@@ -215,6 +219,7 @@ class SensorDriver:
     def reset(self) -> None:
         """Restore the instance to healthy (only between test runs)."""
         self._failed = False
+        self._hook_failed = False
         self._read_count = 0
 
     # ------------------------------------------------------------------
@@ -223,15 +228,19 @@ class SensorDriver:
     def read(self, state: VehicleState, time: float) -> SensorReading:
         """Produce a reading for the firmware.
 
-        The instrumentation hook is consulted first; a positive answer
-        latches the clean failure.  Failed instances keep reporting
-        failure for the rest of the run, matching the paper's fault model.
+        The instrumentation hook is consulted on every read, mirroring
+        the per-read ``libhinj`` query of the paper.  A latched fault's
+        scheduler keeps answering yes once it has fired, so the failure
+        persists for the rest of the run exactly as before; when an
+        intermittent fault's recovery window closes the scheduler's
+        answer reverts and the driver reports healthy readings again.
+        A failure forced with :meth:`fail` (or left behind by a removed
+        hook) never recovers.
         """
         self._read_count += 1
-        if self._fail_hook is not None and not self._failed:
-            if self._fail_hook(self.sensor_id, time):
-                self._failed = True
-        if self._failed:
+        if self._fail_hook is not None:
+            self._hook_failed = self._fail_hook(self.sensor_id, time)
+        if self._failed or self._hook_failed:
             return SensorReading.failure(self.sensor_id, time)
         values = self._measure(state)
         return SensorReading(sensor_id=self.sensor_id, time=time, values=values)

@@ -208,10 +208,25 @@ class ConvoyFollowWorkload(FleetTarget):
     deliberately above the firmware's RTL return altitude, so a
     mid-corridor fail-safe return likewise comes back at convoy
     altitude, through the follower's slot.
+
+    ``return_speed_ms`` (None keeps the outbound cruise speed, the
+    classic profile) lets the lead fly the return legs faster -- the
+    empty-run-home profile real convoys fly.  A fast return sharpens
+    the *recovery-window* hazard of intermittent dropouts: a follower
+    whose beacon picture recovers mid-return rushes back north to
+    re-acquire its slot exactly while the lead bears down on it at
+    return speed.
     """
 
     name = "convoy-follow"
     fleet_size = 2
+
+    #: Class-level default for the return-leg speed.  Deliberately *not*
+    #: an instance attribute unless overridden: the cache's workload
+    #: fingerprint renders every public instance attribute, so a default
+    #: convoy must expose exactly the attribute set it always had --
+    #: existing convoy cache entries and grid streams stay valid.
+    return_speed_ms: Optional[float] = None
 
     def __init__(
         self,
@@ -224,6 +239,7 @@ class ConvoyFollowWorkload(FleetTarget):
         follow_update_steps: int = 5,
         convoy_speed_ms: float = 3.0,
         checkpoint_pause_ms: float = 1200.0,
+        return_speed_ms: Optional[float] = None,
     ) -> None:
         super().__init__()
         self.altitude = altitude
@@ -235,6 +251,8 @@ class ConvoyFollowWorkload(FleetTarget):
         self.follow_update_steps = max(1, follow_update_steps)
         self.convoy_speed_ms = convoy_speed_ms
         self.checkpoint_pause_ms = checkpoint_pause_ms
+        if return_speed_ms is not None:
+            self.return_speed_ms = return_speed_ms
 
     # ------------------------------------------------------------------
     # Beacon-driven following
@@ -261,18 +279,28 @@ class ConvoyFollowWorkload(FleetTarget):
         east = beacon.position[1] + beacon.velocity[1] * age
         self.goto_vehicle(1, north - self.gap_m, east, self.altitude)
 
-    def _command_lead(self, north: float, east: float = 0.0) -> None:
-        """Command the lead to a corridor point at convoy cruise speed."""
+    def _command_lead(
+        self, north: float, east: float = 0.0, speed: Optional[float] = None
+    ) -> None:
+        """Command the lead to a corridor point (cruise speed default)."""
         self.goto_vehicle(
-            0, north, east, self.altitude, speed_limit=self.convoy_speed_ms
+            0,
+            north,
+            east,
+            self.altitude,
+            speed_limit=speed if speed is not None else self.convoy_speed_ms,
         )
 
     def _advance_lead(
-        self, north: float, east: float = 0.0, radius: float = 3.0
+        self,
+        north: float,
+        east: float = 0.0,
+        radius: float = 3.0,
+        speed: Optional[float] = None,
     ) -> None:
         """Command the lead to a corridor point and step until it arrives,
         re-deriving the follower's slot from the beacon stream throughout."""
-        self._command_lead(north, east)
+        self._command_lead(north, east, speed=speed)
         deadline = self._harness.time + self.default_timeout_s
         while True:
             d_north, d_east = self.vehicle_position(0)
@@ -337,7 +365,7 @@ class ConvoyFollowWorkload(FleetTarget):
             distance += self.leg_step_m
         distance = self.leg_m - self.leg_step_m
         while distance >= 0.0:
-            self._advance_lead(distance)
+            self._advance_lead(distance, speed=self.return_speed_ms)
             self._checkpoint_pause()
             distance -= self.leg_step_m
 

@@ -21,6 +21,7 @@ def report(
     seconds=1.0,
     fleet2=2.0,
     traffic=2.5,
+    burst=2.5,
     sabre=1.5,
     calibration=0.1,
     cpus=1,
@@ -37,6 +38,9 @@ def report(
         },
         "traffic": {
             "seconds_per_simulation": traffic,
+        },
+        "burst": {
+            "seconds_per_simulation": burst,
         },
         "sabre": {
             "seconds_per_simulation": sabre,
@@ -69,6 +73,18 @@ class TestSecondsGate:
     def test_traffic_axis_is_gated(self):
         failures, _ = check_regression(report(traffic=1.0), report(traffic=1.4))
         assert any("traffic.seconds_per_simulation" in f for f in failures)
+
+    def test_burst_axis_is_gated(self):
+        failures, _ = check_regression(report(burst=1.0), report(burst=1.4))
+        assert any("burst.seconds_per_simulation" in f for f in failures)
+
+    def test_baseline_without_burst_axis_still_passes(self):
+        # Baselines committed before the burst axis existed must not
+        # fail the gate when the current report carries the new field.
+        old_baseline = report()
+        del old_baseline["burst"]
+        failures, _ = check_regression(old_baseline, report())
+        assert failures == []
 
     def test_missing_current_metric_is_noted_not_failed(self):
         current = report()
