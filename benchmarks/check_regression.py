@@ -81,7 +81,10 @@ def check_regression(
     """Compare ``current`` against ``baseline``.
 
     Returns ``(failures, notes)``: a non-empty ``failures`` list means
-    the gate must fail; ``notes`` document skipped or scaled checks.
+    the gate must fail; ``notes`` document skipped or scaled checks and
+    the measured-vs-baseline numbers of every passing axis.  Every axis
+    is always checked -- the gate reports all failures, never just the
+    first one.
     """
     failures: List[str] = []
     notes: List[str] = []
@@ -112,9 +115,12 @@ def check_regression(
                 f"scale {scale:.2f}x, tolerance {tolerance:.0%})"
             )
         else:
+            # Passing axes explain themselves too: measured vs baseline
+            # is what lets a reviewer spot a creeping (sub-tolerance)
+            # regression before it trips the gate.
             notes.append(
-                f"{name}: {cur_value:.4f}s/sim within allowed "
-                f"{allowed:.4f}s/sim"
+                f"{name}: measured {cur_value:.4f}s/sim vs baseline "
+                f"{base_value:.4f}s/sim, within allowed {allowed:.4f}s/sim"
             )
 
     cpus = _lookup(current, ("usable_cpus",)) or 1

@@ -28,6 +28,7 @@ from repro.engine.backends import ExecutionBackend
 from repro.engine.cache import ResultCache
 from repro.engine.campaign import DEFAULT_BATCH_SIZE, CampaignEngine
 from repro.hinj.faults import default_traffic_failures, validate_burst_durations
+from repro.obs import runtime as obs_runtime
 from repro.sensors.suite import iris_sensor_suite
 
 
@@ -186,6 +187,17 @@ class Avis:
 
     def profile(self) -> List[RunResult]:
         """Execute the fault-free profiling runs and calibrate the monitor."""
+        obs = obs_runtime.current()
+        if obs is not None:
+            with obs.tracer.span(
+                "avis.profile",
+                firmware=self._config.firmware_name,
+                runs=self._profiling_run_count,
+            ):
+                return self._profile()
+        return self._profile()
+
+    def _profile(self) -> List[RunResult]:
         runner = TestRunner(self._config)
         profiles: List[RunResult] = []
         for index in range(self._profiling_run_count):
@@ -240,7 +252,17 @@ class Avis:
             cache=self._cache,
             traffic_failures=self._traffic_failures,
         )
-        self._engine.execute(strategy, session)
+        obs = obs_runtime.current()
+        if obs is not None:
+            with obs.tracer.span(
+                "avis.check",
+                strategy=strategy.name,
+                firmware=self._config.firmware_name,
+                budget=budget.total_units,
+            ):
+                self._engine.execute(strategy, session)
+        else:
+            self._engine.execute(strategy, session)
         return CampaignResult(
             strategy_name=strategy.name,
             firmware_name=self._config.firmware_name,

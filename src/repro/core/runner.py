@@ -28,10 +28,21 @@ from repro.firmware.base import ControlFirmware
 from repro.firmware.modes import FlightMode
 from repro.hinj.faults import EMPTY_SCENARIO, FaultScenario
 from repro.hinj.instrumentation import HinjInterface, ModeTransition
-from repro.hinj.scheduler import FaultScheduler, InjectionRecord
+from repro.hinj.scheduler import (
+    FaultScheduler,
+    InjectionRecord,
+    injection_flight_events,
+)
 from repro.mavlink.gcs import GroundControlStation, TelemetrySnapshot
 from repro.mavlink.link import MavLink
-from repro.mavlink.traffic import TrafficBeacon, TrafficChannel, TrafficInjectionRecord
+from repro.mavlink.traffic import (
+    TrafficBeacon,
+    TrafficChannel,
+    TrafficInjectionRecord,
+    traffic_flight_events,
+)
+from repro.obs import runtime as obs_runtime
+from repro.obs.recorder import FlightEvent, FlightLog
 from repro.sensors.suite import SensorSuite, iris_sensor_suite
 from repro.sim.environment import GeoLocation
 from repro.sim.simulator import CollisionEvent, ProximityEvent, Simulator
@@ -130,6 +141,11 @@ class RunResult:
     vehicle_firmware_names: Dict[int, str] = field(default_factory=dict)
     #: Filled in by the invariant monitor.
     unsafe_conditions: List = field(default_factory=list)
+    #: The per-run flight recorder log (only when an observability
+    #: runtime is installed).  A plain ``None`` default -- not a
+    #: ``default_factory`` -- so results pickled by older engines (cache
+    #: directories) unpickle against the class attribute.
+    flight_log: Optional[FlightLog] = None
 
     @property
     def is_golden(self) -> bool:
@@ -353,6 +369,15 @@ class SimulationHarness:
         self._scenario = scenario
         self._monitor = monitor
 
+        # The flight recorder exists only under an installed
+        # observability runtime; every timing hook below guards on
+        # ``self._recorder is not None`` so the default path never
+        # reads a clock.
+        obs = obs_runtime.current()
+        self._recorder = obs.new_recorder() if obs is not None else None
+        self._clock = obs.tracer.clock if obs is not None else None
+        provision_start = self._clock() if self._recorder is not None else 0.0
+
         environment = config.environment_factory()
         separation_threshold = 0.0
         if monitor is not None:
@@ -407,6 +432,8 @@ class SimulationHarness:
         self._max_steps = int(config.max_sim_time_s / config.dt)
         self._sample_interval = max(config.sample_interval_steps, 1)
         self._record_sample()
+        if self._recorder is not None:
+            self._recorder.add_phase("provision", self._clock() - provision_start)
 
     # ------------------------------------------------------------------
     # Workload-facing interface
@@ -483,18 +510,38 @@ class SimulationHarness:
 
     def step(self, count: int = 1) -> None:
         """Advance the lock-step loop by ``count`` time-steps (Figure 7)."""
+        recorder = self._recorder
+        clock = self._clock
         for _ in range(count):
             if self._abort:
                 return
+            if recorder is not None:
+                mark = clock()
+                sensor_s = 0.0
             commands = []
             for unit in self._units:
                 unit.link.advance()
                 unit.gcs.poll(self.time)
+                if recorder is not None:
+                    sensor_start = clock()
                 readings = unit.suite.read_all(
                     self.simulator.state_of(unit.vehicle), self.time
                 )
+                if recorder is not None:
+                    sensor_s += clock() - sensor_start
                 commands.append(unit.firmware.update(readings, self.time))
+            if recorder is not None:
+                now = clock()
+                # Phases are disjoint: sensor reads are carved out of the
+                # surrounding control-loop time.
+                recorder.add_phase("sensor_read", sensor_s)
+                recorder.add_phase("control", (now - mark) - sensor_s)
+                mark = now
             self.simulator.step_fleet(commands)
+            if recorder is not None:
+                now = clock()
+                recorder.add_phase("physics", now - mark)
+                mark = now
             if self.traffic is not None:
                 self.traffic.advance()
                 if self.traffic.beacon_due():
@@ -506,6 +553,10 @@ class SimulationHarness:
                             position=state.position,
                             velocity=state.velocity,
                         )
+                if recorder is not None:
+                    now = clock()
+                    recorder.add_phase("traffic", now - mark)
+                    mark = now
             self._steps += 1
             if self._steps % self._sample_interval == 0:
                 self._record_sample()
@@ -516,6 +567,8 @@ class SimulationHarness:
                 if self._config.stop_on_unsafe:
                     self._abort = True
             self._check_proximity()
+            if recorder is not None:
+                recorder.add_phase("monitor", clock() - mark)
 
     def _all_firmware_alive(self) -> bool:
         return all(unit.firmware.process_alive for unit in self._units)
@@ -619,7 +672,38 @@ class SimulationHarness:
             }
             if self.traffic is not None:
                 result.traffic_injections = self.traffic.injections
+        if self._recorder is not None:
+            self._assemble_flight_events(result)
+            result.flight_log = self._recorder.seal()
         return result
+
+    def _assemble_flight_events(self, result: RunResult) -> None:
+        """Fill the recorder from the run's own deterministic records.
+
+        Every event is derived from state the run already produced
+        (injection logs, transition logs, simulator safety events), so a
+        recorded run and an unrecorded run execute identically -- the
+        recorder only changes what is *reported*, never what happened.
+        """
+        events: List[FlightEvent] = []
+        events.extend(injection_flight_events(result.injections))
+        events.extend(traffic_flight_events(result.traffic_injections))
+        for unit in self._units:
+            vehicle = f"v{unit.vehicle}"
+            for transition in unit.hinj.transitions:
+                detail = (
+                    f"{transition.previous} -> {transition.label}"
+                    if transition.previous is not None
+                    else transition.label
+                )
+                events.append(
+                    FlightEvent(
+                        transition.time, "mode.transition", detail, vehicle=vehicle
+                    )
+                )
+        events.extend(self.simulator.safety_events())
+        events.sort(key=lambda event: (event.time_s, event.kind, event.detail))
+        self._recorder.record_all(events)
 
 
 class TestRunner:
@@ -664,6 +748,26 @@ class TestRunner:
         noise_seed: Optional[int] = None,
     ) -> RunResult:
         """Execute the configured workload under ``scenario``."""
+        obs = obs_runtime.current()
+        if obs is None:
+            return self._run(scenario, noise_seed)
+        with obs.tracer.span(
+            "simulate",
+            scenario=scenario.describe(),
+            firmware=self._config.firmware_name,
+        ) as span_args:
+            result = self._run(scenario, noise_seed)
+            span_args["unsafe"] = result.found_unsafe_condition
+        if result.flight_log is not None:
+            for phase, seconds in result.flight_log.phase_seconds.items():
+                obs.metrics.counter("run.phase_seconds", phase=phase).inc(seconds)
+            for event in result.flight_log.events:
+                obs.metrics.counter("run.flight_events", kind=event.kind).inc()
+        return result
+
+    def _run(
+        self, scenario: FaultScenario, noise_seed: Optional[int]
+    ) -> RunResult:
         config = self._config
         if noise_seed is not None:
             config = config.with_noise_seed(noise_seed)
@@ -680,5 +784,15 @@ class TestRunner:
         self._runs_executed += 1
         self._simulated_seconds += result.duration_s
         if self._monitor is not None:
-            result.unsafe_conditions = self._monitor.evaluate(result)
+            recorder = harness._recorder
+            if recorder is not None:
+                evaluate_start = harness._clock()
+                result.unsafe_conditions = self._monitor.evaluate(result)
+                if result.flight_log is not None:
+                    result.flight_log.phase_seconds["monitor_evaluate"] = (
+                        result.flight_log.phase_seconds.get("monitor_evaluate", 0.0)
+                        + (harness._clock() - evaluate_start)
+                    )
+            else:
+                result.unsafe_conditions = self._monitor.evaluate(result)
         return result

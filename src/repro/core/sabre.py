@@ -101,6 +101,7 @@ from typing import (
 
 from repro.core.pruning import RedundancyPruner
 from repro.core.session import ExplorationSession
+from repro.obs import runtime as obs_runtime
 from repro.hinj.faults import (
     EMPTY_SCENARIO,
     BurstFailure,
@@ -208,6 +209,10 @@ class SabreSearch:
         self._pending_ops: List[_PendingOp] = []
         self._in_flight: List[FrozenSet[FaultSpec]] = []
         self._finished = False
+        # Batch cuts forced by found-bug dependencies on in-flight runs.
+        # Deliberately NOT part of SabreReport: a sequential run never
+        # defers, and the report must stay bit-identical across drivers.
+        self.in_flight_cuts = 0
 
     # ------------------------------------------------------------------
     # Subset enumeration (the PowerSet of line 5, smallest subsets first)
@@ -485,6 +490,9 @@ class SabreSearch:
         self._start()
         self._apply_feedback()
         assert self._queue is not None
+        obs = obs_runtime.current()
+        if obs is not None:
+            obs.metrics.gauge("sabre.queue_depth").set(len(self._queue))
         batch: List[FaultScenario] = []
         while len(batch) < max_scenarios and not self._finished:
             if self._visit_entry is None:
@@ -523,6 +531,10 @@ class SabreSearch:
                 # rather than spend budget on a duplicate probe.
                 self._visit_cursor += 1
                 self.report.pruned += 1
+                if obs is not None:
+                    obs.metrics.counter(
+                        "sabre.pruned", reason="latched_equivalent"
+                    ).inc()
                 continue
             scenario = entry.base.extended(
                 spec_for(failure, entry.timestamp, duration) for failure in subset
@@ -530,10 +542,24 @@ class SabreSearch:
             if self._depends_on_in_flight(scenario):
                 # Admission depends on an outcome still in flight: cut the
                 # batch here (cursor untouched) and re-decide next round.
+                self.in_flight_cuts += 1
+                if obs is not None:
+                    obs.metrics.counter(
+                        "sabre.batch_cuts", reason="in_flight_dependency"
+                    ).inc()
                 break
             self._visit_cursor += 1
-            if self._pruner.can_prune(scenario) or session.was_explored(scenario):
+            # Evaluated in the sequential loop's exact short-circuit order;
+            # split only so the prune reason can be attributed.
+            if self._pruner.can_prune(scenario):
                 self.report.pruned += 1
+                if obs is not None:
+                    obs.metrics.counter("sabre.pruned", reason="redundant").inc()
+                continue
+            if session.was_explored(scenario):
+                self.report.pruned += 1
+                if obs is not None:
+                    obs.metrics.counter("sabre.pruned", reason="explored").inc()
                 continue
             if charge and not session.reserve_simulation():
                 # Unreachable in practice: affordability was checked just
@@ -543,6 +569,11 @@ class SabreSearch:
                 continue
             self._visit_ran += 1
             self.report.simulations += 1
+            if obs is not None:
+                obs.metrics.counter(
+                    "sabre.proposed",
+                    variant="burst" if duration is not None else "latched",
+                ).inc()
             # Exploration is certain from this point on, so duplicate and
             # symmetry pruning may see the candidate immediately.
             self._pruner.record_explored(scenario)

@@ -28,11 +28,13 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.config import RunConfiguration
 from repro.core.runner import RunResult, TestRunner
 from repro.hinj.faults import FaultScenario
+from repro.obs import runtime as obs_runtime
 
 #: Per-batch context inherited by forked workers (config, monitor).
 _WORKER_CONTEXT: Optional[Tuple[RunConfiguration, object]] = None
@@ -52,15 +54,27 @@ def _run_one(scenario: FaultScenario) -> RunResult:
     return TestRunner(config, monitor=monitor).run(scenario)
 
 
-def _run_indexed(item: Tuple[int, FaultScenario]) -> Tuple[int, RunResult]:
+def _run_indexed(
+    item: Tuple[int, FaultScenario]
+) -> Tuple[int, RunResult, Optional[Tuple[int, float, float]]]:
     """Execute one (submission index, scenario) pair inside a worker.
 
     The index rides along so the parent can collect completions in
     whatever order the pool finishes them and still reorder the batch
-    back into submission order.
+    back into submission order.  When an observability runtime is
+    installed (workers inherit it at fork), a ``(worker pid, start
+    clock, execute seconds)`` triple rides along too -- ``perf_counter``
+    is CLOCK_MONOTONIC-backed on Linux and therefore comparable across
+    forked processes, which is what lets the parent split queue wait
+    from execute time.
     """
     index, scenario = item
-    return index, _run_one(scenario)
+    if obs_runtime.current() is None:
+        return index, _run_one(scenario), None
+    start = time.perf_counter()
+    result = _run_one(scenario)
+    execute_s = time.perf_counter() - start
+    return index, result, (os.getpid(), start, execute_s)
 
 
 class ExecutionBackend(abc.ABC):
@@ -99,9 +113,19 @@ class SerialBackend(ExecutionBackend):
         on_result: Optional[ProgressCallback] = None,
     ) -> List[RunResult]:
         runner = TestRunner(config, monitor=monitor)
+        obs = obs_runtime.current()
         results: List[RunResult] = []
         for index, scenario in enumerate(scenarios):
+            if obs is not None:
+                start = time.perf_counter()
             result = runner.run(scenario)
+            if obs is not None:
+                execute_s = time.perf_counter() - start
+                obs.metrics.counter("backend.worker_tasks", worker="serial").inc()
+                obs.metrics.counter(
+                    "backend.worker_execute_seconds", worker="serial"
+                ).inc(execute_s)
+                obs.metrics.histogram("backend.task_seconds").observe(execute_s)
             results.append(result)
             if on_result is not None:
                 on_result(index, result)
@@ -182,14 +206,40 @@ class ProcessPoolBackend(ExecutionBackend):
             )
 
         pool = self._ensure_pool(config, monitor)
+        obs = obs_runtime.current()
+        submit_clock = time.perf_counter() if obs is not None else 0.0
         # In-flight scheduling: collect completions as the workers finish
         # them (imap_unordered has no head-of-line blocking, so a slow
         # scenario never stalls the progress callback behind it) and
         # reorder into submission order via the indices that rode along.
         slots: List[Optional[RunResult]] = [None] * len(scenarios)
-        for index, result in pool.imap_unordered(
+        for index, result, timing in pool.imap_unordered(
             _run_indexed, list(enumerate(scenarios)), chunksize=1
         ):
+            if obs is not None and timing is not None:
+                worker_pid, start_clock, execute_s = timing
+                worker = f"pid{worker_pid}"
+                obs.metrics.counter("backend.worker_tasks", worker=worker).inc()
+                obs.metrics.counter(
+                    "backend.worker_execute_seconds", worker=worker
+                ).inc(execute_s)
+                obs.metrics.counter(
+                    "backend.worker_queue_wait_seconds", worker=worker
+                ).inc(max(start_clock - submit_clock, 0.0))
+                obs.metrics.histogram("backend.task_seconds").observe(execute_s)
+                # Per-run phase metrics recorded inside the worker died
+                # with its registry; re-aggregate them from the flight
+                # log that travelled back with the result.
+                log = getattr(result, "flight_log", None)
+                if log is not None:
+                    for phase, seconds in log.phase_seconds.items():
+                        obs.metrics.counter(
+                            "run.phase_seconds", phase=phase
+                        ).inc(seconds)
+                    for event in log.events:
+                        obs.metrics.counter(
+                            "run.flight_events", kind=event.kind
+                        ).inc()
             slots[index] = result
             if on_result is not None:
                 on_result(index, result)

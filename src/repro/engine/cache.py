@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from repro.core.config import RunConfiguration
 from repro.core.runner import RunResult
 from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.obs import runtime as obs_runtime
 
 #: Version of the cached-result schema.  Bumped whenever the recorded
 #: :class:`RunResult` payload or the fingerprint grammar changes shape
@@ -315,7 +316,11 @@ class ResultCache:
         except OSError:
             stored = None
         if stored != stamp:
-            self.invalidated += self._purge_entries()
+            purged = self._purge_entries()
+            self.invalidated += purged
+            obs = obs_runtime.current()
+            if obs is not None and purged:
+                obs.metrics.counter("cache.invalidated").inc(purged)
             try:
                 with open(path, "w", encoding="utf-8") as handle:
                     handle.write(stamp + "\n")
@@ -397,6 +402,9 @@ class ResultCache:
             except OSError:
                 continue
             self.evictions += 1
+            obs = obs_runtime.current()
+            if obs is not None:
+                obs.metrics.counter("cache.evictions").inc()
             total_bytes -= size
             over_entries -= 1
             self._memory.pop(name[: -len(".pkl")], None)
@@ -445,8 +453,11 @@ class ResultCache:
                     result = None
                 if result is not None:
                     self._memory[key] = result
+        obs = obs_runtime.current()
         if result is None:
             self.misses += 1
+            if obs is not None:
+                obs.metrics.counter("cache.misses").inc()
             return None
         if self._directory is not None and self._gc_enabled:
             try:
@@ -456,10 +467,15 @@ class ResultCache:
             except OSError:
                 pass
         self.hits += 1
+        if obs is not None:
+            obs.metrics.counter("cache.hits").inc()
         return result
 
     def put(self, key: str, result: RunResult) -> None:
         """Store ``result`` under ``key`` (last write wins)."""
+        obs = obs_runtime.current()
+        if obs is not None:
+            obs.metrics.counter("cache.puts").inc()
         self._memory[key] = result
         if self._directory is not None:
             path = self._path(key)

@@ -38,6 +38,7 @@ from repro.engine.cache import (
     campaign_fingerprint,
     scenario_key,
 )
+from repro.obs import runtime as obs_runtime
 
 #: Scenarios requested per proposal round.  Large enough to keep a
 #: 4-worker pool busy, small enough that budget truncation stays tight.
@@ -147,8 +148,18 @@ class CampaignEngine:
         actually executed.
         """
         self.last_stats = self._fresh_stats()
+        obs = obs_runtime.current()
+        strategy_name = getattr(strategy, "name", type(strategy).__name__)
         if not strategy.has_batch_support:
-            strategy.explore(session)
+            if obs is not None:
+                with obs.tracer.span(
+                    "engine.sequential",
+                    strategy=strategy_name,
+                    backend=self._backend.name,
+                ):
+                    strategy.explore(session)
+            else:
+                strategy.explore(session)
             return
 
         config = session.runner.config
@@ -159,7 +170,19 @@ class CampaignEngine:
 
         while True:
             if self._auto_batch:
-                self._batch_size = self._auto_tuned_size()
+                tuned = self._auto_tuned_size()
+                if obs is not None and tuned != self._batch_size:
+                    obs.tracer.instant(
+                        "engine.autotune",
+                        size=tuned,
+                        previous=self._batch_size,
+                        strategy=strategy_name,
+                    )
+                    obs.metrics.gauge(
+                        "engine.batch_size", strategy=strategy_name
+                    ).set(tuned)
+                self._batch_size = tuned
+            round_start = obs.tracer.clock() if obs is not None else 0.0
             batch = strategy.propose_batch(session, self._batch_size)
             if batch is None:
                 # The strategy withdrew from batching; finish sequentially.
@@ -200,6 +223,29 @@ class CampaignEngine:
                 session.ingest_result(scenario, result)
                 if hasattr(strategy, "simulations_run"):
                     strategy.simulations_run += 1
+
+            if obs is not None:
+                round_seconds = obs.tracer.clock() - round_start
+                obs.tracer.complete(
+                    "engine.round",
+                    round_start,
+                    round_start + round_seconds,
+                    strategy=strategy_name,
+                    backend=self._backend.name,
+                    proposed=len(batch),
+                    cache_hits=len(batch) - len(pending),
+                    executed=len(pending),
+                )
+                labels = {"strategy": strategy_name, "backend": self._backend.name}
+                obs.metrics.counter("engine.rounds", **labels).inc()
+                obs.metrics.counter("engine.proposed", **labels).inc(len(batch))
+                obs.metrics.counter("engine.cache_hits", **labels).inc(
+                    len(batch) - len(pending)
+                )
+                obs.metrics.counter("engine.executed", **labels).inc(len(pending))
+                obs.metrics.histogram("engine.round_seconds", **labels).observe(
+                    round_seconds
+                )
 
     def close(self) -> None:
         """Release backend resources."""

@@ -44,9 +44,12 @@ from repro.core.strategies import (
 from repro.engine.grid import (
     CampaignGrid,
     GridCell,
+    GridOutcome,
     filter_completed,
     load_completed_cells,
 )
+from repro.obs.metrics import merge_snapshots
+from repro.obs.runtime import Observability, observed
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.firmware.px4 import Px4Firmware
 from repro.sim.vehicle import IRIS_QUADCOPTER, SOLO_QUADCOPTER
@@ -214,6 +217,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-campaign progress lines"
+    )
+    observability = parser.add_argument_group("observability")
+    observability.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record structured spans across every campaign and write a "
+        "Chrome-trace JSON file here (open in chrome://tracing or "
+        "https://ui.perfetto.dev); a path ending in .jsonl writes the "
+        "event stream form instead.  Observing never changes campaign "
+        "outcomes or cell fingerprints.",
+    )
+    observability.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="write the merged metrics snapshot (engine rounds, cache "
+        "traffic, worker utilisation, SABRE prune reasons, per-run phase "
+        "timings) of every campaign here as JSON",
+    )
+    observability.add_argument(
+        "--stats-json", metavar="PATH", default=None,
+        help="write per-cell engine/cache scheduling stats "
+        "(CampaignEngine.last_stats and ResultCache.stats) plus grid "
+        "totals here as JSON",
     )
     return parser
 
@@ -439,13 +463,42 @@ def build_cells(args: argparse.Namespace) -> List[GridCell]:
     return cells
 
 
+def _stats_line(outcome: GridOutcome) -> Optional[str]:
+    """The final scheduling-stats summary line (None when unavailable,
+    e.g. every cell was resumed from a pre-stats stream file)."""
+
+    def fmt(value: object) -> str:
+        return f"{value:g}" if isinstance(value, (int, float)) else "?"
+
+    parts = []
+    engine = outcome.engine_totals()
+    if engine:
+        parts.append(
+            "engine: rounds={} proposed={} cache_hits={} executed={}".format(
+                *(fmt(engine.get(key)) for key in
+                  ("rounds", "proposed", "cache_hits", "executed"))
+            )
+        )
+    cache = outcome.cache_totals()
+    if cache:
+        parts.append(
+            "cache: hits={} misses={} evictions={}".format(
+                *(fmt(cache.get(key)) for key in
+                  ("hits", "misses", "evictions"))
+            )
+        )
+    return " | ".join(parts) if parts else None
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     # Fail fast on every output path: campaigns can run for minutes; an
     # unwritable path must not surface only after the grid has finished.
     for flag, value in (("--json", args.json), ("--stream", args.stream),
-                        ("--resume", args.resume)):
+                        ("--resume", args.resume), ("--trace", args.trace),
+                        ("--metrics-json", args.metrics_json),
+                        ("--stats-json", args.stats_json)):
         if not value:
             continue
         directory = os.path.dirname(os.path.abspath(value))
@@ -465,6 +518,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cells = build_cells(args)
     except ValueError as error:
         parser.error(str(error))
+    observing = bool(args.trace or args.metrics_json)
+    if observing:
+        # Observed cells run under fresh per-cell runtimes and return
+        # their metrics/trace with the summary; 'observe' is never part
+        # of the cell fingerprint, so --resume semantics are unchanged.
+        for cell in cells:
+            cell.observe = True
     grid = CampaignGrid(cells, max_workers=args.workers)
     fingerprints = grid.fingerprints()
     completed = filter_completed(cells, completed, fingerprints)
@@ -482,12 +542,88 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not args.quiet:
             print(f"  done {cell_id}: {campaign.summary().strip()}", file=sys.stderr)
 
-    outcome = grid.run(
-        on_progress=progress,
-        stream_path=stream_path,
-        completed=completed,
-        fingerprints=fingerprints,
-    )
+    if observing:
+        # A grid-level runtime adopts each observed cell's trace events
+        # as they are collected, so one --trace file covers every cell.
+        with observed(Observability()) as obs:
+            with obs.tracer.span("grid.run", cells=len(pending)):
+                outcome = grid.run(
+                    on_progress=progress,
+                    stream_path=stream_path,
+                    completed=completed,
+                    fingerprints=fingerprints,
+                )
+            grid_tracer = obs.tracer
+            grid_snapshot = obs.metrics.snapshot()
+    else:
+        outcome = grid.run(
+            on_progress=progress,
+            stream_path=stream_path,
+            completed=completed,
+            fingerprints=fingerprints,
+        )
+        grid_tracer = None
+        grid_snapshot = None
+
+    failures = 0
+    if args.trace:
+        assert grid_tracer is not None
+        try:
+            if args.trace.endswith(".jsonl"):
+                grid_tracer.write_jsonl(args.trace)
+            else:
+                grid_tracer.write_chrome(args.trace)
+            if not args.quiet:
+                print(f"trace written to {args.trace}", file=sys.stderr)
+        except OSError as error:
+            print(f"could not write {args.trace}: {error}", file=sys.stderr)
+            failures += 1
+    if args.metrics_json:
+        assert grid_snapshot is not None
+        snapshots = [grid_snapshot] + [
+            record["metrics"]
+            for record in outcome.cell_summaries.values()
+            if isinstance(record.get("metrics"), dict)
+        ]
+        merged = merge_snapshots(snapshots)
+        try:
+            with open(args.metrics_json, "w", encoding="utf-8") as handle:
+                json.dump(merged, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            if not args.quiet:
+                print(f"metrics written to {args.metrics_json}", file=sys.stderr)
+        except OSError as error:
+            print(f"could not write {args.metrics_json}: {error}", file=sys.stderr)
+            failures += 1
+    if args.stats_json:
+        stats_document = {
+            "cells": {
+                cell_id: {
+                    "engine": record.get("engine"),
+                    "cache": record.get("cache"),
+                }
+                for cell_id, record in outcome.cell_summaries.items()
+            },
+            "totals": {
+                "engine": outcome.engine_totals(),
+                "cache": outcome.cache_totals(),
+            },
+        }
+        try:
+            with open(args.stats_json, "w", encoding="utf-8") as handle:
+                json.dump(stats_document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            if not args.quiet:
+                print(f"stats written to {args.stats_json}", file=sys.stderr)
+        except OSError as error:
+            print(f"could not write {args.stats_json}: {error}", file=sys.stderr)
+            failures += 1
+
+    if not args.quiet:
+        line = _stats_line(outcome)
+        if line:
+            print(line, file=sys.stderr)
+
     summary = json.dumps(outcome.summary(), indent=2, sort_keys=True)
     if args.json:
         try:
@@ -502,7 +638,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"summary written to {args.json}", file=sys.stderr)
     else:
         print(summary)
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,6 +36,8 @@ from repro.core.avis import Avis, CampaignResult
 from repro.core.config import RunConfiguration
 from repro.engine.backends import SerialBackend, _fork_available
 from repro.engine.cache import config_fingerprint, workload_fingerprint
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import Observability, observed
 
 
 @dataclass
@@ -57,6 +59,11 @@ class GridCell:
     #: Open the inter-vehicle traffic channel to injection: the cell's
     #: session gets the coordination fault space (fleet cells only).
     traffic_faults: bool = False
+    #: Run the cell under a fresh observability runtime and return its
+    #: metrics snapshot and trace events with the campaign.  Never part
+    #: of :func:`cell_fingerprint` -- observing a cell cannot change its
+    #: outcome, so it must not invalidate resumable stream records.
+    observe: bool = False
 
 
 def cell_fingerprint(cell: GridCell) -> str:
@@ -87,8 +94,16 @@ def summarize_campaign(
     fleet_size: int = 1,
     fingerprint: Optional[str] = None,
     vehicles: Optional[List[str]] = None,
+    engine_stats: Optional[dict] = None,
+    cache_stats: Optional[dict] = None,
+    metrics: Optional[dict] = None,
 ) -> dict:
-    """The JSON-serialisable summary of one finished grid cell."""
+    """The JSON-serialisable summary of one finished grid cell.
+
+    ``wall_s`` duplicates ``wall_seconds`` under the streamed-record
+    schema name; resume matching is fingerprint-based, so stream files
+    written before (or after) either key exist stay resumable.
+    """
     summary = {
         "cell": cell_id,
         "fingerprint": fingerprint,
@@ -105,9 +120,16 @@ def summarize_campaign(
         "per_mode": campaign.per_mode_counts,
         "efficiency": campaign.efficiency,
         "wall_seconds": wall_seconds,
+        "wall_s": wall_seconds,
     }
     if vehicles is not None:
         summary["vehicles"] = vehicles
+    if engine_stats is not None:
+        summary["engine"] = engine_stats
+    if cache_stats is not None:
+        summary["cache"] = cache_stats
+    if metrics is not None:
+        summary["metrics"] = metrics
     return summary
 
 
@@ -164,23 +186,49 @@ def load_completed_cells(path: str) -> Dict[str, dict]:
 _GRID_CELLS: Optional[Sequence[GridCell]] = None
 
 
-def _run_cell(index: int) -> Tuple[int, CampaignResult, float]:
-    """Execute one grid cell inside a worker; returns (index, result, seconds)."""
+def _run_cell(
+    index: int,
+) -> Tuple[int, CampaignResult, float, dict, Optional[dict]]:
+    """Execute one grid cell inside a worker.
+
+    Returns ``(index, result, seconds, stats, obs_payload)``: ``stats``
+    always carries the cell's engine and cache counters; ``obs_payload``
+    is the cell's metrics snapshot plus serialized trace events when the
+    cell asked to be observed (each observed cell runs under a *fresh*
+    runtime, so its snapshot covers that campaign alone), else None.
+    """
     assert _GRID_CELLS is not None
     cell = _GRID_CELLS[index]
     started = time.perf_counter()
-    avis = Avis(
-        cell.config,
-        profiling_runs=cell.profiling_runs,
-        budget_units=cell.budget_units,
-        simulation_cost=cell.simulation_cost,
-        labelling_cost=cell.labelling_cost,
-        backend=SerialBackend(),
-        traffic_faults=cell.traffic_faults,
-    )
-    avis.profile()
-    campaign = avis.check(strategy=cell.strategy_factory())
-    return index, campaign, time.perf_counter() - started
+
+    def execute() -> Tuple[CampaignResult, dict]:
+        avis = Avis(
+            cell.config,
+            profiling_runs=cell.profiling_runs,
+            budget_units=cell.budget_units,
+            simulation_cost=cell.simulation_cost,
+            labelling_cost=cell.labelling_cost,
+            backend=SerialBackend(),
+            traffic_faults=cell.traffic_faults,
+        )
+        avis.profile()
+        campaign = avis.check(strategy=cell.strategy_factory())
+        stats = {
+            "engine": dict(avis.engine.last_stats),
+            "cache": dict(avis.cache.stats),
+        }
+        return campaign, stats
+
+    if not cell.observe:
+        campaign, stats = execute()
+        return index, campaign, time.perf_counter() - started, stats, None
+    with observed(Observability()) as obs:
+        campaign, stats = execute()
+        payload = {
+            "metrics": obs.metrics.snapshot(),
+            "trace_events": obs.tracer.events,
+        }
+    return index, campaign, time.perf_counter() - started, stats, payload
 
 
 @dataclass
@@ -203,17 +251,50 @@ class GridOutcome:
     def summary(self) -> dict:
         """A JSON-serialisable summary of the whole grid run."""
         campaigns = list(self.cell_summaries.values())
+        totals = {
+            "campaigns": len(campaigns),
+            "resumed": self.resumed_cells,
+            "simulations": sum(c["simulations"] for c in campaigns),
+            "unsafe_scenarios": sum(c["unsafe_scenarios"] for c in campaigns),
+        }
+        engine = self.engine_totals()
+        if engine is not None:
+            totals["engine"] = engine
+        cache = self.cache_totals()
+        if cache is not None:
+            totals["cache"] = cache
         return {
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "campaigns": campaigns,
-            "totals": {
-                "campaigns": len(campaigns),
-                "resumed": self.resumed_cells,
-                "simulations": sum(c["simulations"] for c in campaigns),
-                "unsafe_scenarios": sum(c["unsafe_scenarios"] for c in campaigns),
-            },
+            "totals": totals,
         }
+
+    def _summed_stats(self, key: str) -> Optional[dict]:
+        """Per-cell counter dicts under ``key`` summed across the grid.
+
+        Records resumed from stream files written before the counters
+        existed simply don't contribute; None when no cell carried them.
+        """
+        totals: Dict[str, float] = {}
+        seen = False
+        for record in self.cell_summaries.values():
+            stats = record.get(key)
+            if not isinstance(stats, dict):
+                continue
+            seen = True
+            for name, value in stats.items():
+                if isinstance(value, (int, float)):
+                    totals[name] = totals.get(name, 0) + value
+        return totals if seen else None
+
+    def engine_totals(self) -> Optional[dict]:
+        """The grid-wide sum of every cell's ``CampaignEngine.last_stats``."""
+        return self._summed_stats("engine")
+
+    def cache_totals(self) -> Optional[dict]:
+        """The grid-wide sum of every cell's ``ResultCache.stats``."""
+        return self._summed_stats("cache")
 
 
 class CampaignGrid:
@@ -329,7 +410,7 @@ class CampaignGrid:
 
     def _collect(
         self,
-        outcome: Tuple[int, CampaignResult, float],
+        outcome: Tuple[int, CampaignResult, float, dict, Optional[dict]],
         results: Dict[str, CampaignResult],
         cell_seconds: Dict[str, float],
         summaries: Dict[str, dict],
@@ -337,7 +418,7 @@ class CampaignGrid:
         on_progress: Optional[Callable[[str, CampaignResult], None]],
         fingerprints: Dict[str, str],
     ) -> None:
-        index, campaign, seconds = outcome
+        index, campaign, seconds, stats, payload = outcome
         cell = self._cells[index]
         cell_id = cell.cell_id
         results[cell_id] = campaign
@@ -353,7 +434,16 @@ class CampaignGrid:
                 if getattr(cell.config, "is_heterogeneous", False)
                 else None
             ),
+            engine_stats=stats.get("engine"),
+            cache_stats=stats.get("cache"),
+            metrics=payload.get("metrics") if payload is not None else None,
         )
+        if payload is not None:
+            # Adopt the cell's trace into the grid-level tracer (when one
+            # is installed) so a single --trace file covers every cell.
+            parent = obs_runtime.current()
+            if parent is not None:
+                parent.tracer.extend(payload.get("trace_events", ()))
         if stream is not None:
             stream.write(json.dumps(summaries[cell_id], sort_keys=True) + "\n")
             stream.flush()
@@ -363,7 +453,7 @@ class CampaignGrid:
 
 def _run_cell_local(
     cells: Sequence[GridCell], index: int
-) -> Tuple[int, CampaignResult, float]:
+) -> Tuple[int, CampaignResult, float, dict, Optional[dict]]:
     """Serial-path equivalent of :func:`_run_cell` (no global needed)."""
     global _GRID_CELLS
     previous = _GRID_CELLS

@@ -49,6 +49,32 @@ class InjectionRecord:
         return self.recovered_time is not None
 
 
+def injection_flight_events(records: List[InjectionRecord]) -> list:
+    """Flight-recorder events for a run's sensor-fault injection log.
+
+    One ``fault.injected`` event per applied fault, plus a
+    ``fault.recovered`` event for every intermittent fault whose window
+    actually closed during the run.
+    """
+    from repro.obs.recorder import FlightEvent
+
+    events = []
+    for record in records:
+        detail = record.sensor_id.label
+        if record.duration_s is not None:
+            detail += f" (window {record.duration_s:g}s)"
+        events.append(
+            FlightEvent(record.injected_time, "fault.injected", detail)
+        )
+        if record.recovered_time is not None:
+            events.append(
+                FlightEvent(
+                    record.recovered_time, "fault.recovered", record.sensor_id.label
+                )
+            )
+    return events
+
+
 class FaultScheduler:
     """Executes one :class:`FaultScenario` during a simulated run."""
 

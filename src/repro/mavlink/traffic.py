@@ -92,6 +92,38 @@ class TrafficInjectionRecord:
         return text
 
 
+def traffic_flight_events(records: List[TrafficInjectionRecord]) -> list:
+    """Flight-recorder events for a run's coordination-fault log.
+
+    One ``traffic.injected`` event per applied fault plus a
+    ``traffic.recovered`` event for every intermittent fault whose
+    window actually closed on the air.
+    """
+    from repro.obs.recorder import FlightEvent
+
+    events = []
+    for record in records:
+        vehicle = f"v{record.fault.vehicle}"
+        events.append(
+            FlightEvent(
+                record.injected_time,
+                "traffic.injected",
+                record.fault.label,
+                vehicle=vehicle,
+            )
+        )
+        if record.recovered_time is not None:
+            events.append(
+                FlightEvent(
+                    record.recovered_time,
+                    "traffic.recovered",
+                    record.fault.label,
+                    vehicle=vehicle,
+                )
+            )
+    return events
+
+
 class TrafficChannel:
     """The shared beacon medium of one fleet simulation.
 

@@ -1,0 +1,57 @@
+"""Campaign observability: metrics, structured tracing, flight recorder.
+
+``repro.obs`` is the zero-dependency observability layer of the
+reproduction.  Three primitives, composable and individually usable:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` -- labelled counters,
+  gauges and fixed-bucket histograms with deterministic snapshots and
+  JSON export.
+* :class:`~repro.obs.trace.Tracer` -- structured span tracing with
+  explicit injectable clocks, exporting Chrome-trace-format JSON (load
+  it in ``chrome://tracing`` or Perfetto) and a JSONL event stream.
+* :class:`~repro.obs.recorder.FlightRecorder` -- a per-run ring buffer
+  of phase timings and simulation events (fault injection/recovery,
+  mode transitions, proximity conflicts), attached to
+  :class:`~repro.core.runner.RunResult` as ``flight_log``.
+
+The layer is **inert by default**: nothing is recorded until an
+:class:`~repro.obs.runtime.Observability` is installed (see
+:mod:`repro.obs.runtime`), instrumentation sites guard on a single
+``runtime.current() is None`` check, and no observability state ever
+enters cache fingerprints, scenario hashes or result ordering -- a
+traced campaign is bit-identical to an untraced one.
+
+``python -m repro.obs report TRACE`` summarizes a recorded trace (top
+spans, per-phase breakdown, cache/worker utilization).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.recorder import FlightEvent, FlightLog, FlightRecorder
+from repro.obs.runtime import Observability, current, install, observed, uninstall
+from repro.obs.trace import Tracer, validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS_S",
+    "FlightEvent",
+    "FlightLog",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
+    "current",
+    "install",
+    "merge_snapshots",
+    "observed",
+    "uninstall",
+    "validate_chrome_trace",
+]

@@ -267,6 +267,46 @@ class Simulator:
         """True when at least one collision has been recorded."""
         return bool(self._collisions)
 
+    def safety_events(self) -> list:
+        """Flight-recorder events for every safety occurrence so far.
+
+        Collisions, fence breaches and proximity conflicts as one
+        time-ordered stream, for the per-run flight log.
+        """
+        from repro.obs.recorder import FlightEvent
+
+        events = []
+        for collision in self._collisions:
+            target = collision.obstacle if collision.obstacle else "ground"
+            events.append(
+                FlightEvent(
+                    collision.time,
+                    "safety.collision",
+                    f"{target} at {collision.impact_speed:.2f} m/s",
+                    vehicle=f"v{collision.vehicle}",
+                )
+            )
+        for breach in self._fence_breaches:
+            events.append(
+                FlightEvent(
+                    breach.time,
+                    "safety.fence_breach",
+                    breach.fence,
+                    vehicle=f"v{breach.vehicle}",
+                )
+            )
+        for conflict in self._proximity_events:
+            events.append(
+                FlightEvent(
+                    conflict.time,
+                    "proximity.conflict",
+                    f"v{conflict.vehicle_a}/v{conflict.vehicle_b} "
+                    f"within {conflict.distance_m:.2f} m",
+                )
+            )
+        events.sort(key=lambda event: (event.time_s, event.kind))
+        return events
+
     def add_step_listener(self, listener: Callable[[VehicleState], None]) -> None:
         """Register a callback invoked with vehicle 0's state after every step."""
         self._step_listeners.append(listener)
