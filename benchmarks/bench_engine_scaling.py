@@ -23,6 +23,13 @@ next to the repository root:
   to end and tend to run the full mission (no early unsafe abort),
   making the axis a sensitive cost probe for the recovery-window
   feature.
+
+  The traffic and burst axes are each re-run under the adaptive
+  (quiescence-skipping) stepper with the *same scenarios*; the verdict
+  signatures (outcome, collisions, injection/recovery counts) are
+  asserted equal before ``adaptive_speedup`` is recorded, because a
+  faster stepper that changes verdicts is a bug, not a win.  The
+  regression gate holds this speedup above its 2.0x floor.
 * **SABRE** -- the paper's headline strategy run as a full (profiled,
   budgeted) campaign through the batch protocol: serial backend versus
   a 4-worker pool at the recorded ``per_dequeue``, with the two
@@ -45,6 +52,7 @@ import json
 import os
 import random
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.avis import Avis
@@ -195,6 +203,46 @@ def _traffic_scenarios() -> list:
     ]
 
 
+def _verdict_signature(results) -> list:
+    """What the campaign *concluded*, independent of how it was stepped.
+
+    The adaptive stepper is allowed to change wall-clock, never
+    verdicts: outcome, collision presence, and the injection/recovery
+    record must survive the stepping strategy unchanged.
+    """
+    return [
+        (
+            str(result.scenario),
+            result.workload_result.outcome.value if result.workload_result else "n/a",
+            bool(result.collisions),
+            len(result.traffic_injections),
+            sum(1 for record in result.traffic_injections if record.recovered),
+        )
+        for result in results
+    ]
+
+
+def _measure_adaptive(config, scenarios, reference_results, reference_wall) -> dict:
+    """Re-run ``scenarios`` under the adaptive stepper; assert verdicts.
+
+    Returns the fields merged into the reference axis dict.  The
+    verdict-signature assertion runs *before* any timing is recorded:
+    a speedup measured against diverging outcomes would be meaningless.
+    """
+    adaptive_config = replace(config, stepper="adaptive")
+    started = time.perf_counter()
+    results = SerialBackend().run_scenarios(adaptive_config, None, scenarios)
+    elapsed = time.perf_counter() - started
+    assert _verdict_signature(results) == _verdict_signature(reference_results), (
+        "adaptive stepper changed campaign verdicts"
+    )
+    return {
+        "wall_s_adaptive": elapsed,
+        "seconds_per_simulation_adaptive": elapsed / len(scenarios),
+        "adaptive_speedup": reference_wall / elapsed if elapsed > 0 else None,
+    }
+
+
 def _measure_traffic_axis() -> dict:
     """Seconds per simulation for traffic-fault convoy campaigns."""
     config = _traffic_config()
@@ -205,7 +253,7 @@ def _measure_traffic_axis() -> dict:
     separations = [
         r.min_separation_m for r in results if r.min_separation_m is not None
     ]
-    return {
+    axis = {
         "workload": "convoy-follow",
         "scenario_count": len(scenarios),
         "wall_s": elapsed,
@@ -213,6 +261,8 @@ def _measure_traffic_axis() -> dict:
         "min_separation_m": min(separations) if separations else None,
         "traffic_injections": sum(len(r.traffic_injections) for r in results),
     }
+    axis.update(_measure_adaptive(config, scenarios, results, elapsed))
+    return axis
 
 
 def _burst_scenarios() -> list:
@@ -248,7 +298,7 @@ def _measure_burst_axis() -> dict:
         for record in result.traffic_injections
         if record.recovered
     )
-    return {
+    axis = {
         "workload": "convoy-follow",
         "burst_duration_s": BURST_DURATION_S,
         "scenario_count": len(scenarios),
@@ -257,6 +307,8 @@ def _measure_burst_axis() -> dict:
         "min_separation_m": min(separations) if separations else None,
         "recoveries": recoveries,
     }
+    axis.update(_measure_adaptive(config, scenarios, results, elapsed))
+    return axis
 
 
 def _sabre_campaign(backend):
@@ -390,6 +442,11 @@ def test_engine_scaling(benchmark, capsys):
               f"{burst_axis['scenario_count']} sims "
               f"({burst_axis['seconds_per_simulation']:.2f}s/sim, "
               f"{burst_axis['recoveries']} recoveries)")
+        for label, axis in (("traffic", traffic_axis), ("burst", burst_axis)):
+            print(f"  {label:<9} : adaptive {axis['wall_s_adaptive']:.2f}s "
+                  f"({axis['seconds_per_simulation_adaptive']:.2f}s/sim, "
+                  f"{axis['adaptive_speedup']:.2f}x vs reference, "
+                  "verdicts identical)")
         print(f"  sabre     : {sabre_axis['serial_s']:.2f}s serial vs "
               f"{sabre_axis['pool_s']:.2f}s pooled "
               f"({sabre_axis['speedup_pool4']:.2f}x, "

@@ -3,9 +3,26 @@
 CI runs the engine-scaling microbenchmark and then this script.  The
 gate fails (exit code 1) when any ``seconds_per_simulation`` metric --
 the single-vehicle campaign, the fleet-scaling axis, the traffic-fault
-convoy axis, the intermittent-fault (burst) convoy axis, or the batched
-SABRE campaign -- regresses more than ``--tolerance`` (default 25%)
-against the committed ``BENCH_baseline.json``.
+convoy axis, the intermittent-fault (burst) convoy axis, the adaptive
+re-runs of the convoy axes, or the batched SABRE campaign -- regresses
+more than ``--tolerance`` (default 25%) against the committed
+``BENCH_baseline.json``.
+
+Beyond the timing axes the gate asserts three kinds of floors:
+
+* **Missing axes fail.**  A metric the baseline carries but the fresh
+  report does not is a gate failure, not a note: a benchmark axis that
+  silently stopped being measured would otherwise read as a pass
+  forever.  (The reverse -- a baseline from before an axis existed --
+  is fine; only baseline metrics are enumerated.)
+* **Adaptive speedup floors.**  The quiescence-skipping stepper must
+  stay at least ``2.0x`` faster than the reference stepper on the
+  traffic and burst convoy axes.  These are single-process ratios
+  measured in the same run, so they are asserted on every runner,
+  including single-core CI.
+* **Physics throughput floors.**  The ``physics`` axis records
+  harness steps/sec per stepper and fleet size; each rate must stay
+  above ``baseline / scale / (1 + tolerance)``.
 
 Two things keep the gate honest across heterogeneous runners:
 
@@ -17,7 +34,8 @@ Two things keep the gate honest across heterogeneous runners:
 * **Core-count gating** -- parallel speedup assertions are skipped when
   ``usable_cpus < 2``: a process pool cannot beat serial execution of
   CPU-bound simulations on a single core, which is why single-core CI
-  speedups read ~1.0x.
+  speedups read ~1.0x.  (Adaptive-stepper speedups are exempt: they
+  compare two serial runs.)
 
 Usage::
 
@@ -47,6 +65,15 @@ SPEEDUP_FLOORS: Sequence[Tuple[Tuple[str, ...], float]] = (
     (("sabre", "speedup_pool4"), 0.9),
 )
 
+#: Adaptive-stepper speedups and the floor each must clear on every
+#: runner.  Both sides of the ratio are serial runs from the same
+#: process, so core count is irrelevant; the 2.0x floor is the
+#: headline claim of the fast simulation core and is asserted as such.
+ADAPTIVE_FLOORS: Sequence[Tuple[Tuple[str, ...], float]] = (
+    (("traffic", "adaptive_speedup"), 2.0),
+    (("burst", "adaptive_speedup"), 2.0),
+)
+
 
 def _lookup(report: dict, path: Tuple[str, ...]) -> Optional[float]:
     node = report
@@ -73,6 +100,31 @@ def _seconds_metrics(report: dict) -> Iterator[Tuple[str, float]]:
         value = _lookup(report, (flat_axis, "seconds_per_simulation"))
         if value is not None:
             yield f"{flat_axis}.seconds_per_simulation", value
+    for flat_axis in ("traffic", "burst"):
+        value = _lookup(report, (flat_axis, "seconds_per_simulation_adaptive"))
+        if value is not None:
+            yield f"{flat_axis}.seconds_per_simulation_adaptive", value
+
+
+def _rate_metrics(report: dict) -> Iterator[Tuple[str, float]]:
+    """Every ``*_steps_per_s`` throughput metric (the ``physics`` axis).
+
+    Rates invert the timing logic: higher is better, so the gate
+    asserts a *floor* rather than a ceiling.
+    """
+    axis = report.get("physics")
+    if not isinstance(axis, dict):
+        return
+    for entry_key in sorted(axis):
+        entry = axis[entry_key]
+        if not isinstance(entry, dict):
+            continue
+        for metric_key in sorted(entry):
+            if not metric_key.endswith("_steps_per_s"):
+                continue
+            value = _lookup(entry, (metric_key,))
+            if value is not None:
+                yield f"physics.{entry_key}.{metric_key}", value
 
 
 def check_regression(
@@ -105,7 +157,10 @@ def check_regression(
     for name, base_value in _seconds_metrics(baseline):
         cur_value = current_seconds.get(name)
         if cur_value is None:
-            notes.append(f"{name}: not in current report, skipped")
+            failures.append(
+                f"{name}: present in baseline but missing from the current "
+                "report -- the axis stopped being measured"
+            )
             continue
         allowed = base_value * scale * (1.0 + tolerance)
         if cur_value > allowed:
@@ -123,6 +178,48 @@ def check_regression(
                 f"{base_value:.4f}s/sim, within allowed {allowed:.4f}s/sim"
             )
 
+    current_rates = dict(_rate_metrics(current))
+    for name, base_value in _rate_metrics(baseline):
+        cur_value = current_rates.get(name)
+        if cur_value is None:
+            failures.append(
+                f"{name}: present in baseline but missing from the current "
+                "report -- the axis stopped being measured"
+            )
+            continue
+        floor = base_value / scale / (1.0 + tolerance)
+        if cur_value < floor:
+            failures.append(
+                f"{name}: {cur_value:.0f} steps/s is below the allowed floor "
+                f"{floor:.0f} steps/s (baseline {base_value:.0f} steps/s, "
+                f"scale {scale:.2f}x, tolerance {tolerance:.0%})"
+            )
+        else:
+            notes.append(
+                f"{name}: measured {cur_value:.0f} steps/s vs baseline "
+                f"{base_value:.0f} steps/s, above floor {floor:.0f} steps/s"
+            )
+
+    for path, floor in ADAPTIVE_FLOORS:
+        name = ".".join(path)
+        value = _lookup(current, path)
+        if value is None:
+            if _lookup(baseline, path) is not None:
+                failures.append(
+                    f"{name}: present in baseline but missing from the "
+                    "current report -- the axis stopped being measured"
+                )
+            else:
+                notes.append(f"{name}: not in either report, skipped")
+            continue
+        if value < floor:
+            failures.append(
+                f"{name}: {value:.2f}x is below the {floor:.2f}x floor "
+                "(adaptive stepper stopped paying for itself)"
+            )
+        else:
+            notes.append(f"{name}: {value:.2f}x >= {floor:.2f}x floor")
+
     cpus = _lookup(current, ("usable_cpus",)) or 1
     if cpus < 2:
         notes.append(
@@ -134,7 +231,13 @@ def check_regression(
             name = ".".join(path)
             value = _lookup(current, path)
             if value is None:
-                notes.append(f"{name}: not in current report, skipped")
+                if _lookup(baseline, path) is not None:
+                    failures.append(
+                        f"{name}: present in baseline but missing from the "
+                        "current report -- the axis stopped being measured"
+                    )
+                else:
+                    notes.append(f"{name}: not in either report, skipped")
                 continue
             if value < floor:
                 failures.append(

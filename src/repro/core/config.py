@@ -120,7 +120,18 @@ class RunConfiguration:
         over the inter-vehicle traffic channel (fleet runs only).
     traffic_latency_s:
         Nominal delivery latency of a traffic beacon, in seconds.
+    stepper:
+        Simulation stepping mode.  ``reference`` (default) is the
+        original per-vehicle lock-step loop; ``soa`` advances the fleet
+        through the batched structure-of-arrays physics core
+        (bit-identical to ``reference``, including cache keys); and
+        ``adaptive`` additionally fuses micro-steps while no fault
+        window, workload checkpoint, mode transition or proximity
+        hazard is near (same safety verdicts, distinct cache keys).
     """
+
+    #: Stepping modes accepted by :attr:`stepper`.
+    STEPPERS = ("reference", "soa", "adaptive")
 
     firmware_class: Type[ControlFirmware] = ArduPilotFirmware
     workload_factory: Callable[[], Target] = AutoWorkload
@@ -139,6 +150,7 @@ class RunConfiguration:
     vehicles: Optional[Tuple[VehicleSpec, ...]] = None
     traffic_beacon_interval_s: float = 0.2
     traffic_latency_s: float = 0.1
+    stepper: str = "reference"
 
     def __post_init__(self) -> None:
         if self.vehicles is not None:
@@ -165,6 +177,10 @@ class RunConfiguration:
             raise ValueError("traffic_beacon_interval_s must be positive")
         if self.traffic_latency_s < 0.0:
             raise ValueError("traffic_latency_s cannot be negative")
+        if self.stepper not in self.STEPPERS:
+            raise ValueError(
+                f"unknown stepper {self.stepper!r}; expected one of {self.STEPPERS}"
+            )
 
     def with_noise_seed(self, noise_seed: int) -> "RunConfiguration":
         """Return a copy of the configuration with a different noise seed."""
@@ -186,6 +202,7 @@ class RunConfiguration:
             vehicles=self.vehicles,
             traffic_beacon_interval_s=self.traffic_beacon_interval_s,
             traffic_latency_s=self.traffic_latency_s,
+            stepper=self.stepper,
         )
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ trace and campaign is bit-identical.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -45,6 +46,7 @@ from repro.obs import runtime as obs_runtime
 from repro.obs.recorder import FlightEvent, FlightLog
 from repro.sensors.suite import SensorSuite, iris_sensor_suite
 from repro.sim.environment import GeoLocation
+from repro.sim.planner import StepPlanner
 from repro.sim.simulator import CollisionEvent, ProximityEvent, Simulator
 from repro.sim.state import VehicleState
 from repro.workloads.framework import Target, WorkloadOutcome, WorkloadResult
@@ -54,6 +56,11 @@ from repro.workloads.framework import Target, WorkloadOutcome, WorkloadResult
 #: has an independent (but still deterministic) noise stream while
 #: vehicle 0 keeps the classic seed exactly.
 FLEET_NOISE_SEED_STRIDE = 1000003
+
+#: The adaptive stepper drops to the reference cadence whenever two
+#: airborne fleet members are within this margin of the separation
+#: threshold, so proximity conflicts are timed at full resolution.
+PROXIMITY_REFINE_MARGIN_M = 5.0
 
 
 @dataclass(frozen=True)
@@ -374,6 +381,7 @@ class SimulationHarness:
         # ``self._recorder is not None`` so the default path never
         # reads a clock.
         obs = obs_runtime.current()
+        self._obs = obs
         self._recorder = obs.new_recorder() if obs is not None else None
         self._clock = obs.tracer.clock if obs is not None else None
         provision_start = self._clock() if self._recorder is not None else 0.0
@@ -390,7 +398,37 @@ class SimulationHarness:
             pad_spacing_m=config.fleet_pad_spacing_m,
             proximity_threshold_m=separation_threshold,
             airframes=[spec.airframe for spec in config.vehicle_specs],
+            # "adaptive" composes on top of the SoA physics core; the
+            # reference/SoA distinction is pinned bit-identical.
+            stepper="reference" if config.stepper == "reference" else "soa",
         )
+
+        # The quiescence-skipping planner (adaptive stepper only): fused
+        # macro-steps between event boundaries, reference cadence near
+        # them.  Boundaries start as the scenario's fault windows (both
+        # families, including recovery edges); workloads add their
+        # scheduled checkpoints through ``add_planned_events`` at bind
+        # time, and mode transitions / tight separation are fed in as
+        # the run observes them.
+        self._planner: Optional[StepPlanner] = None
+        if config.stepper == "adaptive":
+            boundaries: List[float] = []
+            for fault in scenario:
+                boundaries.append(fault.start_time)
+                if fault.duration_s is not None:
+                    boundaries.append(fault.start_time + fault.duration_s)
+            for fault in scenario.traffic_faults:
+                boundaries.append(fault.start_time)
+                if fault.duration_s is not None:
+                    boundaries.append(fault.start_time + fault.duration_s)
+            self._planner = StepPlanner(dt=config.dt, event_times=boundaries)
+        self._last_labels: Optional[List[str]] = None
+        self._refine_separation_m = (
+            separation_threshold + PROXIMITY_REFINE_MARGIN_M
+            if separation_threshold > 0.0
+            else 0.0
+        )
+        self._last_update_step: Optional[int] = None
         self._units: List[_VehicleUnit] = [
             _VehicleUnit(
                 vehicle,
@@ -508,8 +546,143 @@ class SimulationHarness:
         """True when the workload should stop stepping."""
         return self._abort
 
+    # ------------------------------------------------------------------
+    # Adaptive-stepper hooks
+    # ------------------------------------------------------------------
+    def add_planned_events(self, times: Sequence[float]) -> None:
+        """Register workload checkpoint times as planner boundaries."""
+        if self._planner is not None and times:
+            self._planner.add_events(times)
+
+    def wait_stride(self) -> int:
+        """Steps a ``wait_until`` poll should advance per iteration."""
+        if self._planner is None:
+            return 1
+        return self._planner.max_stride
+
+    def _needs_refinement(self) -> bool:
+        """Dynamic hazards only the running harness can see.
+
+        Mode transitions are reported to the planner (which refines for
+        its settle window); tight inter-vehicle separation forces the
+        reference cadence directly.
+        """
+        labels = [unit.firmware.operating_mode_label for unit in self._units]
+        if labels != self._last_labels:
+            if self._last_labels is not None:
+                self._planner.note_transition(self.time)
+            self._last_labels = labels
+        if self._refine_separation_m > 0.0 and len(self._units) > 1:
+            states = self.simulator.states
+            for a in range(len(states)):
+                if states[a].on_ground:
+                    continue
+                for b in range(a + 1, len(states)):
+                    if states[b].on_ground:
+                        continue
+                    if (
+                        math.dist(states[a].position, states[b].position)
+                        < self._refine_separation_m
+                    ):
+                        return True
+        return False
+
+    def _step_adaptive(self, count: int) -> None:
+        """Advance ``count`` steps through planner-fused macro-steps."""
+        remaining = count
+        while remaining > 0 and not self._abort:
+            stride = self._planner.plan(
+                self.time, remaining, refine=self._needs_refinement()
+            )
+            self._step_window(stride)
+            remaining -= stride
+
+    def _step_window(self, stride: int) -> None:
+        """One macro-step: ``stride`` micro-steps, one control period.
+
+        The window runs the exact reference loop except that sensors are
+        sampled and the firmware stepped only on the first micro-step,
+        the actuator commands held for the rest; the firmware is told
+        how long its command will be held (``elapsed_steps``).  MAVLink,
+        GCS polling, physics, traffic beacons, trace sampling and every
+        abort/safety check keep their per-micro-step cadence, so event
+        timestamps stay on the reference grid.
+        """
+        recorder = self._recorder
+        clock = self._clock
+        commands: List = []
+        for k in range(stride):
+            if self._abort:
+                return
+            if recorder is not None:
+                mark = clock()
+                sensor_s = 0.0
+            for unit in self._units:
+                unit.link.advance()
+                unit.gcs.poll(self.time)
+            if k == 0:
+                if self._last_update_step is None:
+                    elapsed_steps = 1
+                else:
+                    elapsed_steps = self._steps - self._last_update_step
+                self._last_update_step = self._steps
+                commands = []
+                for unit in self._units:
+                    if recorder is not None:
+                        sensor_start = clock()
+                    readings = unit.suite.read_all(
+                        self.simulator.state_of(unit.vehicle), self.time
+                    )
+                    if recorder is not None:
+                        sensor_s += clock() - sensor_start
+                    commands.append(
+                        unit.firmware.update(
+                            readings, self.time, elapsed_steps=elapsed_steps
+                        )
+                    )
+            if recorder is not None:
+                now = clock()
+                recorder.add_phase("sensor_read", sensor_s)
+                recorder.add_phase("control", (now - mark) - sensor_s)
+                mark = now
+            self.simulator.step_fleet(commands)
+            if recorder is not None:
+                now = clock()
+                recorder.add_phase("physics", now - mark)
+                mark = now
+            if self.traffic is not None:
+                self.traffic.advance()
+                if self.traffic.beacon_due():
+                    for unit in self._units:
+                        state = self.simulator.state_of(unit.vehicle)
+                        self.traffic.broadcast(
+                            unit.vehicle,
+                            time=self.time,
+                            position=state.position,
+                            velocity=state.velocity,
+                        )
+                if recorder is not None:
+                    now = clock()
+                    recorder.add_phase("traffic", now - mark)
+                    mark = now
+            self._steps += 1
+            if self._steps % self._sample_interval == 0:
+                self._record_sample()
+            if self._steps >= self._max_steps:
+                self._abort = True
+            if self.simulator.has_crashed or not self._all_firmware_alive():
+                self._unsafe_found = True
+                if self._config.stop_on_unsafe:
+                    self._abort = True
+            self._check_proximity()
+            if recorder is not None:
+                recorder.add_phase("monitor", clock() - mark)
+
     def step(self, count: int = 1) -> None:
         """Advance the lock-step loop by ``count`` time-steps (Figure 7)."""
+        if self._planner is not None:
+            self._step_adaptive(count)
+            return
         recorder = self._recorder
         clock = self._clock
         for _ in range(count):
@@ -672,9 +845,20 @@ class SimulationHarness:
             }
             if self.traffic is not None:
                 result.traffic_injections = self.traffic.injections
+        if self._planner is not None and self._obs is not None:
+            # Attribute the adaptive stepper's speedup to skipped
+            # quiescence: fused windows vs total micro-steps vs windows
+            # forced back to the reference cadence.
+            metrics = self._obs.metrics
+            metrics.counter("sim.macro_steps").inc(self._planner.macro_steps)
+            metrics.counter("sim.micro_steps").inc(self._planner.micro_steps)
+            metrics.counter("sim.boundary_refinements").inc(
+                self._planner.boundary_refinements
+            )
         if self._recorder is not None:
             self._assemble_flight_events(result)
             result.flight_log = self._recorder.seal()
+            result.flight_log.stepper = self._config.stepper
         return result
 
     def _assemble_flight_events(self, result: RunResult) -> None:

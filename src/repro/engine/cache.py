@@ -90,6 +90,14 @@ def config_fingerprint(config: RunConfiguration, workload_name: str) -> str:
         latency = getattr(config, "traffic_latency_s", defaults[1])
         if (interval, latency) != defaults:
             parts.append(f"traffic={interval!r}/{latency!r}")
+    # The stepper term appears only for modes that can change what a run
+    # records.  "soa" deliberately shares keys with "reference": the two
+    # are pinned bit-identical (states, events, traces) by the fast-core
+    # suite, so a cache entry is equally valid under either -- and the
+    # term's absence keeps every pre-stepper key format unperturbed.
+    stepper = getattr(config, "stepper", "reference")
+    if stepper not in ("reference", "soa"):
+        parts.append(f"stepper={stepper}")
     return "|".join(parts)
 
 

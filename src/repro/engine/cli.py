@@ -178,6 +178,16 @@ def build_parser() -> argparse.ArgumentParser:
         f"enumerate burst windows ({'/'.join(sorted(BURST_STRATEGIES))}).",
     )
     parser.add_argument(
+        "--stepper", choices=["reference", "soa", "adaptive"],
+        default="reference",
+        help="simulation stepping mode for every cell: 'reference' is "
+        "the classic per-vehicle lock-step loop, 'soa' the batched "
+        "structure-of-arrays physics core (bit-identical, shares cache "
+        "entries with 'reference'), 'adaptive' additionally fuses "
+        "micro-steps while no fault window, checkpoint, mode transition "
+        "or proximity hazard is near (same verdicts, own cache keys)",
+    )
+    parser.add_argument(
         "--strategy", nargs="+", choices=sorted(STRATEGIES),
         default=["avis", "stratified-bfi", "bfi", "random"],
         help="search strategies to compare",
@@ -426,6 +436,7 @@ def build_cells(args: argparse.Namespace) -> List[GridCell]:
                         workload_name, args.altitude, args.box_side, fleet_size
                     ),
                     vehicles=vehicles,
+                    stepper=args.stepper,
                 )
             else:
                 config = RunConfiguration(
@@ -434,12 +445,18 @@ def build_cells(args: argparse.Namespace) -> List[GridCell]:
                         workload_name, args.altitude, args.box_side, fleet_size
                     ),
                     fleet_size=fleet_size if is_fleet_cell else 1,
+                    stepper=args.stepper,
                 )
             workload_id = workload_name
             if is_fleet_cell:
                 workload_id = f"{workload_name}@fleet{fleet_size}"
                 if args.traffic_faults:
                     workload_id += "+traffic"
+            if args.stepper != "reference":
+                # Non-default steppers mark the cell id so streams and
+                # resumes distinguish them at a glance ('soa' cells still
+                # *cache*-share with 'reference' -- they are bit-identical).
+                workload_id += f"+{args.stepper}"
             for strategy_name in args.strategy:
                 for budget in args.budget:
                     cell_id = (

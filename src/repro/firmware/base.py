@@ -123,6 +123,7 @@ class ControlFirmware:
         self._guided_speed_limit: Optional[float] = None
         self._rtl_phase = "climb"
         self._landed_counter = 0
+        self._elapsed_steps = 1
         self._failsafe_active = False
         self._process_alive = True
         self._pending_failsafe_mode: Optional[FlightMode] = None
@@ -332,15 +333,35 @@ class ControlFirmware:
     # ------------------------------------------------------------------
     # The control period
     # ------------------------------------------------------------------
-    def update(self, readings: Mapping[SensorId, SensorReading], time: float) -> ActuatorCommand:
-        """Run one control period and return the actuator command."""
+    def update(
+        self,
+        readings: Mapping[SensorId, SensorReading],
+        time: float,
+        elapsed_steps: int = 1,
+    ) -> ActuatorCommand:
+        """Run one control period and return the actuator command.
+
+        ``elapsed_steps`` is the number of simulation micro-steps since
+        the previous control period (1 under the reference stepper).
+        The adaptive stepper fuses quiescent windows -- one control
+        period covering several physics steps -- and reports the window
+        length here so dead-reckoning stays time-consistent: the
+        estimator integrates over the elapsed seconds and time-counted
+        conditions (the landed-settle counter) advance by the elapsed
+        steps.
+        """
         if not self._process_alive:
             return ActuatorCommand(armed=False)
 
         if self._mavlink is not None:
             self._mavlink.process_incoming(time)
 
-        estimate, failure_events = self._estimator.update(readings, self.dt, time)
+        self._elapsed_steps = elapsed_steps
+        # ``dt * 1`` is exactly ``dt``, so reference-stepper arithmetic
+        # is bit-for-bit unchanged.
+        estimate, failure_events = self._estimator.update(
+            readings, self.dt * elapsed_steps, time
+        )
         airborne = estimate.altitude > 0.3 and self._arming.armed
 
         for event in failure_events:
@@ -628,7 +649,8 @@ class ControlFirmware:
             climb_rate=-descent,
         )
         if estimate.altitude < 0.3 and abs(estimate.climb_rate) < 0.3:
-            self._landed_counter += 1
+            # A fused control period covers elapsed_steps of settling.
+            self._landed_counter += self._elapsed_steps
         else:
             self._landed_counter = 0
         if self._landed_counter * self.dt >= 1.0:

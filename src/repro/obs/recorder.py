@@ -66,6 +66,12 @@ class FlightLog:
     dropped: int = 0
     capacity: int = DEFAULT_CAPACITY
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: The stepping mode the phase records were produced under
+    #: (``reference`` / ``soa`` / ``adaptive``), so trace diffs can
+    #: attribute per-phase speedups to skipped quiescence.  A plain
+    #: class-attribute default: logs pickled by older engines unpickle
+    #: against it.
+    stepper: str = "reference"
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable rendering."""
@@ -73,6 +79,7 @@ class FlightLog:
             "events": [event.as_dict() for event in self.events],
             "dropped": self.dropped,
             "capacity": self.capacity,
+            "stepper": self.stepper,
             "phase_seconds": {
                 phase: self.phase_seconds[phase]
                 for phase in sorted(self.phase_seconds)

@@ -45,6 +45,26 @@ class SensorSuite:
             self._drivers[driver.sensor_id] = driver
         if not self._drivers:
             raise ValueError("a sensor suite needs at least one sensor")
+        # The driver set is fixed for the suite's lifetime, so the sorted
+        # orderings are computed once here.  These sorts used to run on
+        # every firmware control period and dominated whole-run profiles;
+        # the accessors below hand out copies of these cached lists.
+        self._sorted_ids: List[SensorId] = sorted(self._drivers)
+        self._sorted_drivers: List[SensorDriver] = [
+            self._drivers[key] for key in self._sorted_ids
+        ]
+        self._types: List[SensorType] = []
+        for sensor_id in self._sorted_ids:
+            if sensor_id.sensor_type not in self._types:
+                self._types.append(sensor_id.sensor_type)
+        self._by_type: Dict[SensorType, List[SensorDriver]] = {}
+        for sensor_type in self._types:
+            instances = [
+                d for d in self._sorted_drivers if d.sensor_type == sensor_type
+            ]
+            self._by_type[sensor_type] = sorted(
+                instances, key=lambda d: (d.role != SensorRole.PRIMARY, d.sensor_id)
+            )
 
     # ------------------------------------------------------------------
     # Enumeration
@@ -52,21 +72,17 @@ class SensorSuite:
     @property
     def drivers(self) -> List[SensorDriver]:
         """Every driver in a stable order (by sensor id)."""
-        return [self._drivers[key] for key in sorted(self._drivers)]
+        return list(self._sorted_drivers)
 
     @property
     def sensor_ids(self) -> List[SensorId]:
         """Every sensor instance id in a stable order."""
-        return sorted(self._drivers)
+        return list(self._sorted_ids)
 
     @property
     def sensor_types(self) -> List[SensorType]:
         """The distinct sensor types present in the suite."""
-        seen: List[SensorType] = []
-        for sensor_id in self.sensor_ids:
-            if sensor_id.sensor_type not in seen:
-                seen.append(sensor_id.sensor_type)
-        return seen
+        return list(self._types)
 
     def driver(self, sensor_id: SensorId) -> SensorDriver:
         """Return the driver for ``sensor_id``."""
@@ -74,8 +90,7 @@ class SensorSuite:
 
     def instances_of(self, sensor_type: SensorType) -> List[SensorDriver]:
         """All instances of ``sensor_type`` ordered primary-first."""
-        instances = [d for d in self.drivers if d.sensor_type == sensor_type]
-        return sorted(instances, key=lambda d: (d.role != SensorRole.PRIMARY, d.sensor_id))
+        return list(self._by_type.get(sensor_type, []))
 
     def role_of(self, sensor_id: SensorId) -> SensorRole:
         """Return the redundancy role of ``sensor_id``."""
@@ -96,7 +111,7 @@ class SensorSuite:
     # ------------------------------------------------------------------
     def healthy_instances(self, sensor_type: SensorType) -> List[SensorDriver]:
         """Healthy instances of ``sensor_type``, primary first."""
-        return [d for d in self.instances_of(sensor_type) if d.healthy]
+        return [d for d in self._by_type.get(sensor_type, ()) if d.healthy]
 
     def active_instance(self, sensor_type: SensorType) -> Optional[SensorDriver]:
         """The instance the firmware should currently trust, if any.
@@ -137,8 +152,8 @@ class SensorSuite:
     def read_all(self, state: VehicleState, time: float) -> Dict[SensorId, SensorReading]:
         """Read every instance once and return readings keyed by id."""
         return {
-            sensor_id: self._drivers[sensor_id].read(state, time)
-            for sensor_id in self.sensor_ids
+            driver.sensor_id: driver.read(state, time)
+            for driver in self._sorted_drivers
         }
 
     def read_active(
@@ -150,7 +165,7 @@ class SensorSuite:
         otherwise the first healthy backup; returns ``None`` when every
         instance of the type reported failure.
         """
-        for driver in self.instances_of(sensor_type):
+        for driver in self._by_type.get(sensor_type, ()):
             reading = readings.get(driver.sensor_id)
             if reading is not None and not reading.failed:
                 return reading

@@ -21,7 +21,9 @@ provides the Python equivalent of that loop:
 """
 
 from repro.sim.environment import Environment, FenceRegion, Obstacle, Wind
+from repro.sim.fleet_physics import FleetPhysics, Touchdown, numpy_available
 from repro.sim.physics import QuadrotorPhysics
+from repro.sim.planner import StepPlanner
 from repro.sim.simulator import CollisionEvent, SimulationClock, Simulator
 from repro.sim.state import AttitudeState, VehicleState
 from repro.sim.vehicle import IRIS_QUADCOPTER, AirframeParameters
@@ -32,11 +34,15 @@ __all__ = [
     "CollisionEvent",
     "Environment",
     "FenceRegion",
+    "FleetPhysics",
     "IRIS_QUADCOPTER",
     "Obstacle",
     "QuadrotorPhysics",
     "SimulationClock",
     "Simulator",
+    "StepPlanner",
+    "Touchdown",
     "VehicleState",
     "Wind",
+    "numpy_available",
 ]

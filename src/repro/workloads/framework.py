@@ -106,6 +106,23 @@ class Target:
     def bind(self, harness) -> None:
         """Attach the workload to a harness before running."""
         self._harness = harness
+        # Adaptive-stepper harnesses plan macro-steps around statically
+        # known event boundaries; hand them the workload's scheduled
+        # checkpoint times (a no-op for every other harness).
+        register = getattr(harness, "add_planned_events", None)
+        if register is not None:
+            register(self.scheduled_event_times())
+
+    def scheduled_event_times(self) -> tuple:
+        """Simulated times (seconds) at which this workload acts on a
+        schedule rather than on observed state.
+
+        The adaptive stepper refines to the reference cadence around
+        these, exactly as it does around fault windows.  Workloads whose
+        actions are purely state-driven (every built-in one) return an
+        empty tuple.
+        """
+        return ()
 
     def run(self) -> WorkloadResult:
         """Execute the workload and translate exceptions into a result."""
@@ -203,12 +220,16 @@ class Target:
         """
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         deadline = self._harness.time + timeout
+        # Reference/SoA harnesses poll every step (stride 1, the classic
+        # loop); an adaptive harness reports its fused-window stride so
+        # waiting polls once per macro-step instead.
+        stride = getattr(self._harness, "wait_stride", None)
         while not predicate():
             if self._harness.time >= deadline:
                 raise WorkloadTimeout(
                     f"timed out after {timeout:.0f}s waiting for {description}"
                 )
-            self.step()
+            self.step(stride() if stride is not None else 1)
 
     # ------------------------------------------------------------------
     # Mission construction (Figure 8 helpers)

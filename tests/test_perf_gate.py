@@ -27,6 +27,9 @@ def report(
     cpus=1,
     speedup2=1.0,
     sabre_speedup=1.0,
+    adaptive_traffic=2.4,
+    adaptive_burst=2.2,
+    physics_rate=1000.0,
 ):
     return {
         "usable_cpus": cpus,
@@ -38,13 +41,24 @@ def report(
         },
         "traffic": {
             "seconds_per_simulation": traffic,
+            "seconds_per_simulation_adaptive": traffic / adaptive_traffic,
+            "adaptive_speedup": adaptive_traffic,
         },
         "burst": {
             "seconds_per_simulation": burst,
+            "seconds_per_simulation_adaptive": burst / adaptive_burst,
+            "adaptive_speedup": adaptive_burst,
         },
         "sabre": {
             "seconds_per_simulation": sabre,
             "speedup_pool4": sabre_speedup,
+        },
+        "physics": {
+            "fleet1": {"reference_steps_per_s": physics_rate},
+            "fleet2": {
+                "reference_steps_per_s": physics_rate * 0.6,
+                "adaptive_steps_per_s": physics_rate * 1.5,
+            },
         },
     }
 
@@ -78,6 +92,17 @@ class TestSecondsGate:
         failures, _ = check_regression(report(burst=1.0), report(burst=1.4))
         assert any("burst.seconds_per_simulation" in f for f in failures)
 
+    def test_adaptive_seconds_are_gated_as_timing_axes(self):
+        # seconds_per_simulation_adaptive regressing past tolerance
+        # trips the gate even while the speedup ratio stays above 2x
+        # (both steppers slowing down together is still a regression).
+        slow = report(traffic=5.0)
+        slow["traffic"]["seconds_per_simulation"] = report()["traffic"][
+            "seconds_per_simulation"
+        ]
+        failures, _ = check_regression(report(), slow)
+        assert any("traffic.seconds_per_simulation_adaptive" in f for f in failures)
+
     def test_baseline_without_burst_axis_still_passes(self):
         # Baselines committed before the burst axis existed must not
         # fail the gate when the current report carries the new field.
@@ -86,12 +111,23 @@ class TestSecondsGate:
         failures, _ = check_regression(old_baseline, report())
         assert failures == []
 
-    def test_missing_current_metric_is_noted_not_failed(self):
+    def test_baseline_without_adaptive_or_physics_axes_still_passes(self):
+        old_baseline = report()
+        del old_baseline["physics"]
+        del old_baseline["traffic"]["adaptive_speedup"]
+        del old_baseline["traffic"]["seconds_per_simulation_adaptive"]
+        failures, _ = check_regression(old_baseline, report())
+        assert failures == []
+
+    def test_missing_current_metric_fails(self):
+        # An axis the baseline measures but the fresh report lacks is a
+        # hard failure: a silently dropped benchmark would otherwise
+        # read as a pass forever.
         current = report()
         del current["sabre"]
-        failures, notes = check_regression(report(), current)
-        assert failures == []
-        assert any("sabre.seconds_per_simulation" in note for note in notes)
+        failures, _ = check_regression(report(), current)
+        assert any("sabre.seconds_per_simulation" in f for f in failures)
+        assert any("missing from the current report" in f for f in failures)
 
 
 class TestCalibrationScaling:
@@ -100,7 +136,7 @@ class TestCalibrationScaling:
         # doubled campaign timings are expected, not a regression.
         failures, notes = check_regression(
             report(seconds=1.0, calibration=0.1),
-            report(seconds=2.0, calibration=0.2),
+            report(seconds=2.0, calibration=0.2, physics_rate=500.0),
         )
         assert failures == []
         assert any("scaled by 2.00x" in note for note in notes)
@@ -132,6 +168,63 @@ class TestSpeedupGating:
             report(), report(cpus=4, speedup2=1.8, sabre_speedup=1.6)
         )
         assert failures == []
+
+
+class TestAdaptiveFloors:
+    def test_adaptive_speedup_below_two_x_fails_even_on_one_core(self):
+        # The 2x adaptive floor compares two serial runs, so it is
+        # asserted regardless of usable_cpus.
+        failures, _ = check_regression(report(), report(cpus=1, adaptive_traffic=1.5))
+        assert any("traffic.adaptive_speedup" in f for f in failures)
+        assert any("1.50x is below the 2.00x floor" in f for f in failures)
+
+    def test_burst_adaptive_floor_is_gated_too(self):
+        failures, _ = check_regression(report(), report(adaptive_burst=1.9))
+        assert any("burst.adaptive_speedup" in f for f in failures)
+
+    def test_missing_adaptive_speedup_fails_when_baseline_has_it(self):
+        current = report()
+        del current["traffic"]["adaptive_speedup"]
+        failures, _ = check_regression(report(), current)
+        assert any(
+            "traffic.adaptive_speedup" in f and "missing" in f for f in failures
+        )
+
+    def test_healthy_adaptive_speedups_pass(self):
+        failures, notes = check_regression(
+            report(), report(adaptive_traffic=2.3, adaptive_burst=2.1)
+        )
+        assert failures == []
+        assert any("traffic.adaptive_speedup: 2.30x >= 2.00x" in n for n in notes)
+
+
+class TestPhysicsFloors:
+    def test_physics_rate_regression_fails(self):
+        failures, _ = check_regression(
+            report(physics_rate=1000.0), report(physics_rate=500.0)
+        )
+        assert any("physics.fleet1.reference_steps_per_s" in f for f in failures)
+
+    def test_physics_rate_scales_with_calibration(self):
+        # 2x slower machine: floor halves, so 550 steps/s against a
+        # 1000 steps/s baseline still clears 1000 / 2 / 1.25 = 400.
+        failures, _ = check_regression(
+            report(physics_rate=1000.0, calibration=0.1),
+            report(physics_rate=550.0, calibration=0.2, seconds=2.0),
+        )
+        assert not any("physics" in f for f in failures)
+
+    def test_missing_physics_entry_fails(self):
+        current = report()
+        del current["physics"]["fleet2"]
+        failures, _ = check_regression(report(), current)
+        assert any("physics.fleet2" in f and "missing" in f for f in failures)
+
+    def test_all_steppers_in_an_entry_are_gated(self):
+        current = report()
+        current["physics"]["fleet2"]["adaptive_steps_per_s"] = 100.0
+        failures, _ = check_regression(report(), current)
+        assert any("physics.fleet2.adaptive_steps_per_s" in f for f in failures)
 
 
 class TestCli:
