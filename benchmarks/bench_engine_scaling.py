@@ -323,19 +323,17 @@ def _sabre_campaign(backend):
         strategy=AvisStrategy(max_scenarios_per_dequeue=SABRE_PER_DEQUEUE)
     )
     elapsed = time.perf_counter() - started
-    return campaign, elapsed, dict(avis.engine.last_stats)
+    stats = dict(avis.engine.last_stats)
+    avis.engine.close()  # spec-built backends are engine-owned
+    return campaign, elapsed, stats
 
 
 def _measure_sabre_axis() -> dict:
     """Batched SABRE, serial vs pool: the paper's headline strategy is
     the one axis the PR 1 worker pool could not accelerate before the
     dequeue-level batch protocol existed."""
-    serial_campaign, serial_s, serial_stats = _sabre_campaign(SerialBackend())
-    pool = ProcessPoolBackend(max_workers=4)
-    try:
-        pool_campaign, pool_s, _ = _sabre_campaign(pool)
-    finally:
-        pool.close()
+    serial_campaign, serial_s, serial_stats = _sabre_campaign("serial")
+    pool_campaign, pool_s, _ = _sabre_campaign("pool:4")
 
     # Determinism before performance: the two campaigns must be
     # bit-identical or the speedup is meaningless.

@@ -30,6 +30,17 @@ Quickstart::
     campaign = avis.check()
     for run in campaign.unsafe_results:
         print(run.summary())
+
+Campaign matrices are submitted through the request API -- in-process
+or to a ``python -m repro.engine serve`` daemon, same records either
+way::
+
+    from repro import CampaignClient, CampaignRequest
+
+    request = CampaignRequest(strategies=("avis", "random"),
+                              budgets=(30.0,), backend="pool:4")
+    records = CampaignClient().run(request)           # in-process
+    records = CampaignClient("127.0.0.1:7800").run(request)  # service
 """
 
 from repro.core.avis import Avis, CampaignResult
@@ -42,15 +53,42 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Avis",
+    "CampaignClient",
+    "CampaignRequest",
     "CampaignResult",
     "FaultScenario",
     "FaultSpec",
     "InvariantMonitor",
+    "RemoteBackend",
+    "ResultCache",
     "RunConfiguration",
     "RunResult",
+    "ServiceError",
     "TestRunner",
     "TrafficFaultSpec",
     "UnsafeCondition",
     "VehicleSpec",
     "__version__",
+    "parse_backend_spec",
+    "run_campaign",
 ]
+
+#: Campaign-fabric symbols, re-exported lazily: the engine modules
+#: import the orchestrator above, so an eager import here would cycle.
+_ENGINE_EXPORTS = {
+    "CampaignClient",
+    "CampaignRequest",
+    "RemoteBackend",
+    "ResultCache",
+    "ServiceError",
+    "parse_backend_spec",
+    "run_campaign",
+}
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        import repro.engine as _engine
+
+        return getattr(_engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -17,7 +17,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.core.config import RunConfiguration
 from repro.core.monitor import InvariantMonitor, UnsafeCondition, mode_category_of
@@ -115,7 +115,7 @@ class Avis:
         budget_units: float = 60.0,
         simulation_cost: float = 1.0,
         labelling_cost: float = 0.15,
-        backend: Optional[ExecutionBackend] = None,
+        backend: Union[str, ExecutionBackend, None] = None,
         cache: Optional[ResultCache] = None,
         batch_size=DEFAULT_BATCH_SIZE,
         traffic_faults: bool = False,

@@ -4,23 +4,40 @@ The engine is the execution layer under :class:`repro.core.avis.Avis`:
 
 * :mod:`repro.engine.backends` -- where batches of simulations run
   (:class:`SerialBackend` in-process, :class:`ProcessPoolBackend` across
-  a forked worker pool with bit-identical results).
+  a forked worker pool, :class:`RemoteBackend` across TCP worker
+  processes -- all bit-identical; pick one with a backend spec string
+  like ``"pool:8"`` or ``"remote:host:port"``).
 * :mod:`repro.engine.cache` -- the content-addressed
   :class:`ResultCache`, keyed on ``(firmware, workload, scenario,
   noise seed, params)``, so repeated campaigns skip already-simulated
-  scenarios.
+  scenarios; :mod:`repro.engine.cache_remote` serves one over TCP.
 * :mod:`repro.engine.campaign` -- :class:`CampaignEngine`, which drives
   a search strategy's batch proposals through the cache and a backend.
 * :mod:`repro.engine.grid` -- :class:`CampaignGrid`, sharding a
   (firmware x workload x strategy x budget) matrix across workers;
   exposed on the command line as ``python -m repro.engine``.
+* :mod:`repro.engine.api` -- the submission API:
+  :class:`CampaignRequest` (one declarative matrix value),
+  :func:`run_campaign` (the in-process path) and
+  :class:`CampaignClient` (in-process or service submission).
+* :mod:`repro.engine.service` -- ``python -m repro.engine serve``, the
+  campaign daemon behind :class:`CampaignClient`.
 
-``CampaignGrid``/``GridCell`` are re-exported lazily because the grid
-imports the orchestrator (which itself imports this package).
+Grid/api/service symbols are re-exported lazily because those modules
+import the orchestrator (which itself imports this package).
 """
 
-from repro.engine.backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
+from repro.engine.backends import (
+    BACKEND_SPEC_HELP,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RemoteBackend,
+    SerialBackend,
+    parse_backend_spec,
+    resolve_backend,
+)
 from repro.engine.cache import (
+    CacheStore,
     ResultCache,
     adapt_cached_result,
     bug_registry_stamp,
@@ -31,30 +48,59 @@ from repro.engine.cache import (
 from repro.engine.campaign import DEFAULT_BATCH_SIZE, CampaignEngine
 
 __all__ = [
+    "BACKEND_SPEC_HELP",
+    "CacheStore",
+    "CampaignClient",
     "CampaignEngine",
     "CampaignGrid",
+    "CampaignRequest",
+    "CampaignService",
     "DEFAULT_BATCH_SIZE",
     "ExecutionBackend",
     "GridCell",
     "GridOutcome",
     "ProcessPoolBackend",
+    "RemoteBackend",
     "ResultCache",
+    "STREAM_SCHEMA_VERSION",
     "SerialBackend",
+    "ServiceError",
     "adapt_cached_result",
+    "build_cells",
     "bug_registry_stamp",
     "config_fingerprint",
     "load_completed_cells",
+    "parse_backend_spec",
+    "resolve_backend",
+    "run_campaign",
     "scenario_key",
     "summarize_campaign",
+    "validate_stream_record",
     "workload_fingerprint",
 ]
 
-_LAZY = {"CampaignGrid", "GridCell", "GridOutcome", "load_completed_cells", "summarize_campaign"}
+#: Lazily-resolved re-exports, mapped to their defining module (these
+#: modules import the orchestrator, which imports this package).
+_LAZY = {
+    "CampaignGrid": "repro.engine.grid",
+    "GridCell": "repro.engine.grid",
+    "GridOutcome": "repro.engine.grid",
+    "STREAM_SCHEMA_VERSION": "repro.engine.grid",
+    "load_completed_cells": "repro.engine.grid",
+    "summarize_campaign": "repro.engine.grid",
+    "validate_stream_record": "repro.engine.grid",
+    "CampaignClient": "repro.engine.api",
+    "CampaignRequest": "repro.engine.api",
+    "ServiceError": "repro.engine.api",
+    "build_cells": "repro.engine.api",
+    "run_campaign": "repro.engine.api",
+    "CampaignService": "repro.engine.service",
+}
 
 
 def __getattr__(name: str):
     if name in _LAZY:
-        from repro.engine import grid
+        import importlib
 
-        return getattr(grid, name)
+        return getattr(importlib.import_module(_LAZY[name]), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

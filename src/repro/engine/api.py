@@ -1,0 +1,662 @@
+"""The campaign submission API: one request type, two execution paths.
+
+Historically a campaign matrix could only be described as CLI flags
+(``python -m repro.engine --firmware ... --strategy ...``) or by
+hand-building :class:`~repro.engine.grid.GridCell` lists.  This module
+redesigns that surface around a single declarative value:
+
+* :class:`CampaignRequest` -- a plain dataclass naming the matrix
+  (firmwares x workloads x strategies x budgets), the fleet, the fault
+  families, and the execution fabric (backend spec, shared cache,
+  worker count).  It round-trips through JSON (:meth:`to_dict` /
+  :meth:`from_dict`), which is exactly what the campaign service
+  transports over the wire.
+* :func:`build_cells` -- the canonical request -> grid-cell expansion.
+  The CLI's ``build_cells(args)`` is now a thin wrapper over this, so a
+  request submitted to the service produces byte-identical cell ids and
+  fingerprints to the same matrix typed as flags.
+* :func:`run_campaign` -- the in-process path: expand, shard, stream.
+* :class:`CampaignClient` -- one client for both paths.  Without an
+  address it runs the request in-process; with ``address="host:port"``
+  it submits to a :mod:`repro.engine.service` daemon and follows the
+  job's record stream.
+
+Every record produced by either path is the same JSONL schema the grid
+CLI streams (``--stream``/``--resume``), so resuming, validating
+(``repro.obs report --validate``) and summarising work unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.config import RunConfiguration, VehicleSpec
+from repro.core.strategies import (
+    AvisStrategy,
+    BayesianFaultInjection,
+    BreadthFirstSearch,
+    DepthFirstSearch,
+    RandomInjection,
+    StratifiedBFI,
+)
+from repro.engine.grid import (
+    CampaignGrid,
+    GridCell,
+    GridOutcome,
+    filter_completed,
+    load_completed_cells,
+)
+from repro.engine.remote import (
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.firmware.ardupilot import ArduPilotFirmware
+from repro.firmware.px4 import Px4Firmware
+from repro.sim.vehicle import IRIS_QUADCOPTER, SOLO_QUADCOPTER
+from repro.workloads.builtin import (
+    AutoWorkload,
+    PositionHoldBoxWorkload,
+    WaypointFenceWorkload,
+)
+from repro.workloads.fleet import (
+    ConvoyFollowWorkload,
+    CrossingPathsWorkload,
+    MultiPadTakeoffLandWorkload,
+)
+
+FIRMWARES = {"ardupilot": ArduPilotFirmware, "px4": Px4Firmware}
+
+AIRFRAMES = {"iris": IRIS_QUADCOPTER, "solo": SOLO_QUADCOPTER}
+
+#: Workloads that need a fleet, mapped to the minimum fleet size each
+#: implies (taken from the workload classes so the API cannot drift).
+FLEET_WORKLOADS = {
+    "convoy": ConvoyFollowWorkload.fleet_size,
+    "crossing": CrossingPathsWorkload.fleet_size,
+    # Multi-pad scales to whatever fleet_size asks for; two vehicles is
+    # the smallest fleet its constructor accepts.
+    "multi-pad": 2,
+}
+
+#: Fleet workloads whose choreography flies a fixed number of vehicles;
+#: any other fleet_size would provision vehicles that never fly.
+FIXED_FLEET_WORKLOADS = {
+    "convoy": ConvoyFollowWorkload.fleet_size,
+    "crossing": CrossingPathsWorkload.fleet_size,
+}
+
+STRATEGIES: Dict[str, Callable[[], object]] = {
+    "avis": AvisStrategy,
+    "stratified-bfi": StratifiedBFI,
+    "bfi": BayesianFaultInjection,
+    "random": RandomInjection,
+    "depth-first": DepthFirstSearch,
+    "breadth-first": BreadthFirstSearch,
+}
+
+#: Strategies that draw from ``session.injectable_failures`` and can
+#: therefore explore the coordination fault space.  The BFI family
+#: scores candidates through a sensor-typed model and the exhaustive
+#: enumerators eagerly materialise every failure subset, so a
+#: traffic-faults grid restricted to these strategies is the honest
+#: option: a cell tagged ``+traffic`` really injects them.
+TRAFFIC_STRATEGIES = frozenset({"avis", "random"})
+
+#: Strategies that can sweep intermittent (recovering) fault windows
+#: next to the latched faults; burst durations are rejected for any
+#: other strategy so a cell tagged ``+burst`` really explores bursts.
+BURST_STRATEGIES = frozenset({"avis", "stratified-bfi", "bfi"})
+
+WORKLOADS = ("auto", "waypoint", "poshold", "convoy", "crossing", "multi-pad")
+
+STEPPERS = ("reference", "soa", "adaptive")
+
+
+def parse_vehicle_spec(text: str) -> VehicleSpec:
+    """Parse one vehicle spec: ``firmware=px4,airframe=solo``."""
+    kwargs = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"--vehicle: expected key=value pairs, got '{item}'"
+            )
+        key, value = (part.strip() for part in item.split("=", 1))
+        if key == "firmware":
+            if value not in FIRMWARES:
+                raise ValueError(
+                    f"--vehicle: unknown firmware '{value}' "
+                    f"(choose from {', '.join(sorted(FIRMWARES))})"
+                )
+            kwargs["firmware_class"] = FIRMWARES[value]
+        elif key == "airframe":
+            if value not in AIRFRAMES:
+                raise ValueError(
+                    f"--vehicle: unknown airframe '{value}' "
+                    f"(choose from {', '.join(sorted(AIRFRAMES))})"
+                )
+            kwargs["airframe"] = AIRFRAMES[value]
+        else:
+            raise ValueError(
+                f"--vehicle: unknown key '{key}' (use firmware/airframe)"
+            )
+    return VehicleSpec(**kwargs)
+
+
+@dataclass
+class CampaignRequest:
+    """A declarative campaign matrix plus its execution fabric.
+
+    The matrix axes (``firmwares x workloads x strategies x budgets``)
+    and the per-cell knobs mirror the grid CLI flags one-to-one; the
+    defaults are the CLI defaults, so ``CampaignRequest()`` is exactly
+    ``python -m repro.engine`` with no flags.  ``backend``, ``cache``
+    and ``workers`` describe *where* the work runs and never enter cell
+    fingerprints -- the same request is bit-identical on every fabric.
+
+    Requests round-trip through plain dicts (and therefore JSON): this
+    is the submission payload the campaign service accepts.
+    """
+
+    firmwares: Tuple[str, ...] = ("ardupilot",)
+    workloads: Tuple[str, ...] = ("waypoint",)
+    strategies: Tuple[str, ...] = ("avis", "stratified-bfi", "bfi", "random")
+    budgets: Tuple[float, ...] = (30.0,)
+    fleet_size: int = 1
+    #: Per-vehicle fleet specs, one string per fleet member in vehicle
+    #: order (``"firmware=px4,airframe=solo"``).  Kept textual so the
+    #: request stays JSON-serialisable; parsed by :func:`build_cells`.
+    vehicles: Tuple[str, ...] = ()
+    traffic_faults: bool = False
+    separation_aware: bool = False
+    burst_durations: Tuple[float, ...] = ()
+    per_dequeue: Optional[int] = None
+    stepper: str = "reference"
+    profiling_runs: int = 2
+    altitude: float = 15.0
+    box_side: float = 15.0
+    #: Execution backend spec for every cell's campaign engine:
+    #: ``"serial"``, ``"pool[:N]"`` or ``"remote:..."`` (see
+    #: :data:`repro.engine.backends.BACKEND_SPEC_HELP`).
+    backend: str = "serial"
+    #: Shared result cache: a directory path, or ``"remote:host:port"``
+    #: for a :class:`~repro.engine.cache_remote.CacheServer`.  None runs
+    #: each cell on its private in-memory cache.
+    cache: Optional[str] = None
+    #: Grid shard processes (None: CPU count, capped at 4).
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Tolerate lists (the JSON spelling) everywhere a tuple is due.
+        for name in (
+            "firmwares", "workloads", "strategies", "budgets", "vehicles",
+            "burst_durations",
+        ):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+
+    def to_dict(self) -> dict:
+        """The JSON-serialisable form (tuples become lists)."""
+        payload = dataclasses.asdict(self)
+        for name, value in payload.items():
+            if isinstance(value, tuple):
+                payload[name] = list(value)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignRequest":
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Unknown keys are ignored, so payloads written by a newer client
+        still submit to an older service (the cells the older code can
+        build are the cells it builds).
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {
+            key: value for key, value in payload.items() if key in names
+        }
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignRequest":
+        return cls.from_dict(json.loads(text))
+
+    def cells(self) -> List[GridCell]:
+        """The expanded grid cells (validates the request)."""
+        return build_cells(self)
+
+
+def _workload_factory(name: str, altitude: float, box_side: float, fleet_size: int):
+    if name == "auto":
+        return lambda: AutoWorkload(altitude=altitude)
+    if name == "waypoint":
+        return lambda: WaypointFenceWorkload(altitude=altitude, box_side=box_side)
+    if name == "poshold":
+        return lambda: PositionHoldBoxWorkload(altitude=altitude, box_side=box_side)
+    if name == "convoy":
+        return lambda: ConvoyFollowWorkload()
+    if name == "crossing":
+        return lambda: CrossingPathsWorkload()
+    if name == "multi-pad":
+        return lambda: MultiPadTakeoffLandWorkload(fleet_size=max(fleet_size, 2))
+    raise ValueError(f"unknown workload '{name}'")
+
+
+def _strategy_factory(strategy_name: str, request: CampaignRequest):
+    """The per-cell strategy factory, honouring the SABRE/burst knobs."""
+    bursts = request.burst_durations
+    if strategy_name == "avis" and (
+        request.per_dequeue is not None
+        or request.traffic_faults
+        or request.separation_aware
+        or bursts
+    ):
+        kwargs = dict(
+            include_traffic_faults=request.traffic_faults,
+            separation_aware=request.separation_aware,
+            burst_durations=bursts,
+        )
+        if request.per_dequeue is not None:
+            kwargs["max_scenarios_per_dequeue"] = (
+                None if request.per_dequeue == 0 else request.per_dequeue
+            )
+        return lambda: AvisStrategy(**kwargs)
+    if strategy_name == "stratified-bfi" and bursts:
+        return lambda: StratifiedBFI(burst_durations=bursts)
+    if strategy_name == "bfi" and bursts:
+        return lambda: BayesianFaultInjection(burst_durations=bursts)
+    if strategy_name not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy '{strategy_name}' "
+            f"(choose from {', '.join(sorted(STRATEGIES))})"
+        )
+    return STRATEGIES[strategy_name]
+
+
+def _strategy_id(strategy_name: str, request: CampaignRequest) -> str:
+    """The cell-id fragment for a strategy; default knobs keep the
+    historical ids so existing stream files still resume."""
+    bursts = request.burst_durations
+    burst_fragment = (
+        "+burst" + ",".join(f"{duration:g}" for duration in bursts)
+        if bursts and strategy_name in BURST_STRATEGIES
+        else ""
+    )
+    if strategy_name != "avis":
+        return strategy_name + burst_fragment
+    fragment = "avis"
+    if request.per_dequeue is not None:
+        fragment += f"@pd{request.per_dequeue}"
+    if request.separation_aware:
+        fragment += "+sep"
+    return fragment + burst_fragment
+
+
+def _vehicle_fleet(request: CampaignRequest) -> Optional[Tuple[VehicleSpec, ...]]:
+    """The per-vehicle fleet requested via ``vehicles``, if any."""
+    if not request.vehicles:
+        return None
+    specs = tuple(parse_vehicle_spec(text) for text in request.vehicles)
+    if len(specs) < 2:
+        raise ValueError("--vehicle needs at least two specs (one per fleet member)")
+    return specs
+
+
+def build_cells(request: CampaignRequest) -> List[GridCell]:
+    """Expand a request into its grid cells, validating every axis.
+
+    This is the single matrix expansion in the codebase: the grid CLI,
+    the in-process :func:`run_campaign` path and the campaign service
+    all call it, so a given request yields identical cell ids and
+    fingerprints no matter how it was submitted.  (Error messages use
+    the CLI flag spellings -- the request fields map one-to-one.)
+    """
+    if request.stepper not in STEPPERS:
+        raise ValueError(
+            f"unknown stepper '{request.stepper}' "
+            f"(choose from {', '.join(STEPPERS)})"
+        )
+    for firmware_name in request.firmwares:
+        if firmware_name not in FIRMWARES:
+            raise ValueError(
+                f"unknown firmware '{firmware_name}' "
+                f"(choose from {', '.join(sorted(FIRMWARES))})"
+            )
+    for workload_name in request.workloads:
+        if workload_name not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload '{workload_name}' "
+                f"(choose from {', '.join(WORKLOADS)})"
+            )
+    vehicles = _vehicle_fleet(request)
+    fleet_size = request.fleet_size
+    if vehicles is not None:
+        if not any(workload in FLEET_WORKLOADS for workload in request.workloads):
+            raise ValueError(
+                "--vehicle applies only to fleet workloads "
+                f"({', '.join(sorted(FLEET_WORKLOADS))}); none requested"
+            )
+        if request.fleet_size not in (1, len(vehicles)):
+            raise ValueError(
+                f"--fleet-size {request.fleet_size} disagrees with "
+                f"{len(vehicles)} --vehicle spec(s)"
+            )
+        fleet_size = len(vehicles)
+    elif request.fleet_size != 1 and not any(
+        workload in FLEET_WORKLOADS for workload in request.workloads
+    ):
+        raise ValueError(
+            "--fleet-size applies only to fleet workloads "
+            f"({', '.join(sorted(FLEET_WORKLOADS))}); none requested"
+        )
+    if request.traffic_faults and fleet_size < 2 and vehicles is None:
+        raise ValueError(
+            "--traffic-faults needs a fleet (use --fleet-size or --vehicle)"
+        )
+    if request.traffic_faults:
+        unsupported = sorted(set(request.strategies) - TRAFFIC_STRATEGIES)
+        if unsupported:
+            raise ValueError(
+                "--traffic-faults applies only to strategies that explore "
+                f"the coordination fault space "
+                f"({', '.join(sorted(TRAFFIC_STRATEGIES))}); "
+                f"got: {', '.join(unsupported)}"
+            )
+    if request.burst_durations:
+        from repro.hinj.faults import validate_burst_durations
+
+        try:
+            validate_burst_durations(request.burst_durations)
+        except ValueError:
+            raise ValueError("--burst-duration values must be positive seconds")
+        unsupported = sorted(set(request.strategies) - BURST_STRATEGIES)
+        if unsupported:
+            raise ValueError(
+                "--burst-duration applies only to strategies that sweep "
+                f"recovery windows ({', '.join(sorted(BURST_STRATEGIES))}); "
+                f"got: {', '.join(unsupported)}"
+            )
+    if request.per_dequeue is not None:
+        if request.per_dequeue < 0:
+            raise ValueError("--per-dequeue must be >= 0 (0 disables the bound)")
+        if "avis" not in request.strategies:
+            raise ValueError("--per-dequeue applies only to the 'avis' strategy")
+    if request.separation_aware and "avis" not in request.strategies:
+        raise ValueError("--separation-aware applies only to the 'avis' strategy")
+    cells: List[GridCell] = []
+    fleet_cell_ids = set()
+    for firmware_name in request.firmwares:
+        for workload_name in request.workloads:
+            required_fleet = FLEET_WORKLOADS.get(workload_name, 1)
+            if required_fleet > 1 and fleet_size < required_fleet:
+                raise ValueError(
+                    f"workload '{workload_name}' needs --fleet-size >= {required_fleet}"
+                )
+            if workload_name in FIXED_FLEET_WORKLOADS and (
+                fleet_size != FIXED_FLEET_WORKLOADS[workload_name]
+            ):
+                # Extra vehicles would be provisioned and integrated every
+                # step but never flown -- reject rather than burn budget
+                # on a campaign whose cell id would overstate the fleet.
+                raise ValueError(
+                    f"workload '{workload_name}' flies exactly "
+                    f"{FIXED_FLEET_WORKLOADS[workload_name]} vehicles; "
+                    f"run it with --fleet-size {FIXED_FLEET_WORKLOADS[workload_name]}"
+                )
+            # Classic workloads in a mixed grid always fly solo; only the
+            # fleet workloads consume fleet_size / vehicles.
+            is_fleet_cell = required_fleet > 1
+            cell_firmware_id = firmware_name
+            if is_fleet_cell and vehicles is not None:
+                # A per-vehicle fleet fully determines the cell's firmware
+                # mix; emit it once rather than once per firmware.
+                cell_firmware_id = "+".join(
+                    spec.firmware_name for spec in vehicles
+                )
+                config = RunConfiguration(
+                    workload_factory=_workload_factory(
+                        workload_name, request.altitude, request.box_side,
+                        fleet_size,
+                    ),
+                    vehicles=vehicles,
+                    stepper=request.stepper,
+                )
+            else:
+                config = RunConfiguration(
+                    firmware_class=FIRMWARES[firmware_name],
+                    workload_factory=_workload_factory(
+                        workload_name, request.altitude, request.box_side,
+                        fleet_size,
+                    ),
+                    fleet_size=fleet_size if is_fleet_cell else 1,
+                    stepper=request.stepper,
+                )
+            workload_id = workload_name
+            if is_fleet_cell:
+                workload_id = f"{workload_name}@fleet{fleet_size}"
+                if request.traffic_faults:
+                    workload_id += "+traffic"
+            if request.stepper != "reference":
+                # Non-default steppers mark the cell id so streams and
+                # resumes distinguish them at a glance ('soa' cells still
+                # *cache*-share with 'reference' -- they are bit-identical).
+                workload_id += f"+{request.stepper}"
+            for strategy_name in request.strategies:
+                for budget in request.budgets:
+                    cell_id = (
+                        f"{cell_firmware_id}/{workload_id}/"
+                        f"{_strategy_id(strategy_name, request)}/{budget:g}"
+                    )
+                    if is_fleet_cell and vehicles is not None:
+                        if cell_id in fleet_cell_ids:
+                            continue
+                        fleet_cell_ids.add(cell_id)
+                    cells.append(
+                        GridCell(
+                            cell_id=cell_id,
+                            config=config,
+                            strategy_factory=_strategy_factory(
+                                strategy_name, request
+                            ),
+                            budget_units=budget,
+                            profiling_runs=request.profiling_runs,
+                            traffic_faults=(
+                                request.traffic_faults and is_fleet_cell
+                            ),
+                            backend_spec=request.backend,
+                            cache_spec=request.cache,
+                        )
+                    )
+    return cells
+
+
+def run_campaign(
+    request: CampaignRequest,
+    stream_path: Optional[str] = None,
+    resume_path: Optional[str] = None,
+    on_progress: Optional[Callable[[str, object], None]] = None,
+    on_record: Optional[Callable[[dict], None]] = None,
+) -> GridOutcome:
+    """Run a request in-process: expand, shard, stream, summarise.
+
+    The in-process twin of submitting to the campaign service --
+    identical cells, identical records.  ``on_record`` fires with each
+    finished cell's JSONL record (the streamed schema), which is how
+    the service multiplexes live progress to its clients.
+    """
+    cells = build_cells(request)
+    grid = CampaignGrid(cells, max_workers=request.workers)
+    fingerprints = grid.fingerprints()
+    completed: Dict[str, dict] = {}
+    if resume_path:
+        completed = filter_completed(
+            cells, load_completed_cells(resume_path), fingerprints
+        )
+    return grid.run(
+        on_progress=on_progress,
+        stream_path=stream_path,
+        completed=completed,
+        fingerprints=fingerprints,
+        on_record=on_record,
+    )
+
+
+class ServiceError(RuntimeError):
+    """The campaign service refused or failed a request."""
+
+
+class CampaignClient:
+    """Submit campaign requests -- in-process or to a service daemon.
+
+    ``CampaignClient()`` runs requests in the calling process (no
+    daemon involved); ``CampaignClient("host:port")`` submits them to a
+    ``python -m repro.engine serve`` daemon and follows the job's
+    record stream.  Either way :meth:`run` returns the same list of
+    JSONL-schema records, so callers are fabric-agnostic::
+
+        records = CampaignClient().run(CampaignRequest(strategies=("random",),
+                                                       budgets=(5.0,)))
+    """
+
+    def __init__(
+        self,
+        address: Optional[Union[str, Tuple[str, int]]] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if isinstance(address, str):
+            address = parse_address(address)
+        self._address = tuple(address) if address is not None else None
+        self._connect_timeout = connect_timeout
+
+    @property
+    def remote(self) -> bool:
+        """Whether requests go to a service daemon (vs in-process)."""
+        return self._address is not None
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        assert self._address is not None
+        sock = socket.create_connection(
+            self._address, timeout=self._connect_timeout
+        )
+        try:
+            send_frame(sock, {"op": "hello", "protocol": PROTOCOL_VERSION})
+            reply = recv_frame(sock)
+            if not reply.get("ok"):
+                raise ServiceError(
+                    reply.get("error", "service rejected the connection")
+                )
+        except BaseException:
+            sock.close()
+            raise
+        return sock
+
+    def _call(self, frame: dict) -> dict:
+        with self._connect() as sock:
+            send_frame(sock, frame)
+            reply = recv_frame(sock)
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error", "service call failed"))
+        return reply
+
+    # ------------------------------------------------------------------
+    def submit(self, request: CampaignRequest) -> str:
+        """Queue a request on the service; returns the job id."""
+        if not self.remote:
+            raise ServiceError(
+                "submit() needs a service address; use run() in-process"
+            )
+        reply = self._call({"op": "submit", "request": request.to_dict()})
+        return reply["job"]
+
+    def status(self, job_id: Optional[str] = None) -> dict:
+        """The service's job table, or one job's entry."""
+        frame: dict = {"op": "status"}
+        if job_id is not None:
+            frame["job"] = job_id
+        return self._call(frame)
+
+    def shutdown(self) -> None:
+        """Ask the service to stop accepting work and exit."""
+        self._call({"op": "shutdown"})
+
+    def watch(self, job_id: str, timeout: Optional[float] = None) -> Iterator[dict]:
+        """Yield a job's record stream; raises on job failure.
+
+        Records already finished when the watch starts are replayed
+        first, so watching is race-free against the scheduler.  The
+        final frame (``event: "done"``) carries the job summary and is
+        not yielded; a failed job raises :class:`ServiceError`.
+        """
+        sock = self._connect()
+        try:
+            if timeout is not None:
+                sock.settimeout(timeout)
+            send_frame(sock, {"op": "watch", "job": job_id})
+            while True:
+                frame = recv_frame(sock)
+                if not frame.get("ok"):
+                    raise ServiceError(frame.get("error", "watch failed"))
+                event = frame.get("event")
+                if event == "record":
+                    yield frame["record"]
+                elif event == "done":
+                    return
+                elif event == "failed":
+                    raise ServiceError(
+                        frame.get("error", f"job {job_id} failed")
+                    )
+        finally:
+            sock.close()
+
+    def run(
+        self,
+        request: CampaignRequest,
+        stream_path: Optional[str] = None,
+        on_record: Optional[Callable[[dict], None]] = None,
+        timeout: Optional[float] = None,
+    ) -> List[dict]:
+        """Run a request to completion; returns its JSONL records.
+
+        In-process mode executes the campaign right here; remote mode
+        submits it and follows the record stream.  ``stream_path``
+        appends each record as one JSON line (the ``--stream`` format)
+        in both modes.
+        """
+        if not self.remote:
+            records: List[dict] = []
+
+            def collect(record: dict) -> None:
+                records.append(record)
+                if on_record is not None:
+                    on_record(record)
+
+            run_campaign(
+                request, stream_path=stream_path, on_record=collect
+            )
+            return records
+        job_id = self.submit(request)
+        records = []
+        stream = open(stream_path, "a", encoding="utf-8") if stream_path else None
+        try:
+            for record in self.watch(job_id, timeout=timeout):
+                records.append(record)
+                if stream is not None:
+                    stream.write(json.dumps(record, sort_keys=True) + "\n")
+                    stream.flush()
+                if on_record is not None:
+                    on_record(record)
+        finally:
+            if stream is not None:
+                stream.close()
+        return records

@@ -24,7 +24,7 @@ import hashlib
 import os
 import pickle
 import tempfile
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.core.config import RunConfiguration
 from repro.core.runner import RunResult
@@ -234,6 +234,34 @@ def adapt_cached_result(result: RunResult, monitor=None) -> RunResult:
     return adapted
 
 
+@runtime_checkable
+class CacheStore(Protocol):
+    """The store contract behind the engine's result caching.
+
+    :class:`ResultCache` (in-process, optionally directory-backed) and
+    :class:`repro.engine.cache_remote.RemoteCacheStore` (a socket client
+    of a network-shared store) both satisfy it, so the campaign engine,
+    the exploration session and the orchestrator never care where a
+    result is actually held.  Keys are the content addresses produced by
+    :func:`scenario_key`; because the bug-registry/schema version stamps
+    are folded into every *directory* store, a shared store serves only
+    results the current engine could have produced itself.
+    """
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The stored result for ``key``, or None on a miss."""
+        ...
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` (last write wins)."""
+        ...
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss (and store-specific) counters."""
+        ...
+
+
 class ResultCache:
     """In-memory (and optionally on-disk) store of simulated run results.
 
@@ -291,8 +319,10 @@ class ResultCache:
         self._puts_since_rescan = 0
         self.evictions = 0
         self.invalidated = 0
+        self.corrupt = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
+            self._sweep_orphan_tmp()
             self._check_version_stamp()
             if self._gc_enabled:
                 self._rescan_totals()
@@ -334,6 +364,30 @@ class ResultCache:
                     handle.write(stamp + "\n")
             except OSError:
                 pass
+
+    def _sweep_orphan_tmp(self) -> None:
+        """Delete ``.tmp`` spool files a crashed writer left behind.
+
+        Every put writes to a ``tempfile.mkstemp`` spool and atomically
+        renames it over the entry, so a writer that dies mid-write can
+        only leak a ``.tmp`` file -- never a torn ``.pkl``.  Sweeping
+        them at open keeps a long-lived shared directory from
+        accumulating dead spools.  In the unlikely race that this sweep
+        removes a *live* writer's spool, that writer's rename fails with
+        an OSError that :meth:`put` already tolerates (the entry simply
+        stays a miss), so the sweep can never corrupt an entry.
+        """
+        assert self._directory is not None
+        try:
+            names = os.listdir(self._directory)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self._directory, name))
+                except OSError:
+                    pass
 
     def _purge_entries(self) -> int:
         """Delete every ``.pkl`` entry in the directory; returns the count."""
@@ -457,8 +511,20 @@ class ResultCache:
                 try:
                     with open(path, "rb") as handle:
                         result = pickle.load(handle)
-                except (OSError, pickle.UnpicklingError, EOFError):
+                except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                    # A torn or stale entry (e.g. written by a crashed
+                    # non-atomic writer from an older engine).  Unlink it
+                    # so ``key in cache`` stops reporting a phantom entry
+                    # and the next put rewrites it cleanly.
                     result = None
+                    self.corrupt += 1
+                    obs = obs_runtime.current()
+                    if obs is not None:
+                        obs.metrics.counter("cache.corrupt").inc()
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
                 if result is not None:
                     self._memory[key] = result
         obs = obs_runtime.current()
@@ -531,4 +597,5 @@ class ResultCache:
             "entries": len(self._memory),
             "evictions": self.evictions,
             "invalidated": self.invalidated,
+            "corrupt": self.corrupt,
         }

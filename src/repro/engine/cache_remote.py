@@ -1,0 +1,389 @@
+"""A network-shared result cache: socket server + client store.
+
+The content-addressed :class:`~repro.engine.cache.ResultCache` is safe
+to share -- keys are pure functions of ``(config, scenario)`` and the
+bug-registry/schema version stamp makes a shared directory
+self-invalidating -- so serving one over a socket turns every campaign
+worker and every service job into tenants of one warm store.  This
+module provides both halves:
+
+* :class:`CacheServer` wraps any local :class:`ResultCache` (usually a
+  directory-backed one) and serves get/put/stats over the same
+  length-prefixed JSON frames the remote execution backend uses
+  (:mod:`repro.engine.remote`).  One thread per client connection; the
+  wrapped cache is guarded by a lock, so concurrent clients serialize
+  on the store rather than interleaving writes.
+* :class:`RemoteCacheStore` is the client: it satisfies the
+  :class:`~repro.engine.cache.CacheStore` protocol, so it slots under
+  ``Avis(cache=...)`` and the campaign engine unchanged.  The handshake
+  compares bug-registry stamps -- a client whose firmware registries
+  differ from the server's refuses the store outright, the same
+  self-invalidation rule a shared directory applies.
+
+A cache is an optimisation, never a dependency: when the server becomes
+unreachable mid-campaign the client degrades to recording misses (and
+dropping puts) instead of failing the campaign.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import warnings
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.runner import RunResult
+from repro.engine.cache import ResultCache, bug_registry_stamp
+from repro.engine.remote import (
+    PROTOCOL_VERSION,
+    decode_payload,
+    encode_payload,
+    format_address,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.obs import runtime as obs_runtime
+
+
+class CacheServer:
+    """Serves a local :class:`ResultCache` to remote clients over TCP.
+
+    Start/stop explicitly or use as a context manager::
+
+        cache = ResultCache(directory="/shared/avis-cache")
+        with CacheServer(cache, port=7801) as server:
+            print("serving", server.endpoint)
+            ...
+
+    The server never interprets results -- frames carry opaque pickled
+    payloads -- so it can front a store for campaigns it knows nothing
+    about, as long as the bug-registry stamps agree.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._cache = cache if cache is not None else ResultCache()
+        self._lock = threading.Lock()
+        self._stamp = bug_registry_stamp()
+        self._connections: set = set()
+        self.served_gets = 0
+        self.served_puts = 0
+        server = self
+
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - thin dispatch
+                server._serve_connection(self.request)
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = Server((host, port), Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def cache(self) -> ResultCache:
+        """The wrapped local store."""
+        return self._cache
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` endpoint."""
+        return self._server.server_address[:2]
+
+    @property
+    def endpoint(self) -> str:
+        """The bound endpoint as a ``host:port`` string."""
+        return format_address(self.address)
+
+    def start(self) -> "CacheServer":
+        """Serve clients on a daemon thread until :meth:`stop`."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+        # Sever live client connections too: stopping the listener alone
+        # would leave their handler threads silently serving on.
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "CacheServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with self._lock:
+            self._connections.add(connection)
+        try:
+            while True:
+                try:
+                    frame = recv_frame(connection)
+                except (ConnectionError, OSError):
+                    return
+                try:
+                    reply = self._handle(frame)
+                except Exception as error:  # never kill the serve thread
+                    reply = {"ok": False, "error": str(error)}
+                try:
+                    send_frame(connection, reply)
+                except OSError:
+                    return
+        finally:
+            with self._lock:
+                self._connections.discard(connection)
+
+    def _handle(self, frame: dict) -> dict:
+        op = frame.get("op")
+        if op == "hello":
+            return {
+                "ok": frame.get("protocol") == PROTOCOL_VERSION,
+                "protocol": PROTOCOL_VERSION,
+                "stamp": self._stamp,
+            }
+        if op == "get":
+            key = str(frame.get("key", ""))
+            with self._lock:
+                result = self._cache.get(key)
+                self.served_gets += 1
+            if result is None:
+                return {"ok": True, "found": False}
+            return {"ok": True, "found": True, "result": encode_payload(result)}
+        if op == "put":
+            key = str(frame.get("key", ""))
+            result = decode_payload(frame["result"])
+            with self._lock:
+                self._cache.put(key, result)
+                self.served_puts += 1
+            return {"ok": True}
+        if op == "stats":
+            with self._lock:
+                stats = dict(self._cache.stats)
+            stats["served_gets"] = self.served_gets
+            stats["served_puts"] = self.served_puts
+            return {"ok": True, "stats": stats}
+        return {"ok": False, "error": f"unknown op '{op}'"}
+
+
+class RemoteCacheStore:
+    """Client of a :class:`CacheServer`, satisfying ``CacheStore``.
+
+    Results fetched once are memoised in-process (mirroring
+    ``ResultCache``'s memory tier), so a campaign that re-reads a key
+    pays the wire exactly once.  Hit/miss counters are client-local --
+    they describe *this* campaign's cache behaviour; the server-side
+    totals are available through :meth:`server_stats`.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        connect_timeout: float = 10.0,
+        op_timeout: float = 60.0,
+    ) -> None:
+        if isinstance(address, str):
+            address = parse_address(address)
+        self._address = tuple(address)
+        self._connect_timeout = connect_timeout
+        self._op_timeout = op_timeout
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+        self._broken = False
+        self._memory: Dict[str, RunResult] = {}
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.dropped = 0
+        # Fail fast on version skew: connect (and stamp-check) eagerly.
+        with self._lock:
+            self._ensure_connection()
+
+    @property
+    def endpoint(self) -> str:
+        """The server endpoint as a ``host:port`` string."""
+        return format_address(self._address)
+
+    # ------------------------------------------------------------------
+    def _ensure_connection(self) -> Optional[socket.socket]:
+        """The live server socket, dialling if needed (lock held)."""
+        if self._sock is not None:
+            return self._sock
+        if self._broken:
+            return None
+        sock = socket.create_connection(
+            self._address, timeout=self._connect_timeout
+        )
+        sock.settimeout(self._op_timeout)
+        try:
+            send_frame(sock, {"op": "hello", "protocol": PROTOCOL_VERSION})
+            reply = recv_frame(sock)
+        except BaseException:
+            sock.close()
+            raise
+        if not reply.get("ok"):
+            sock.close()
+            raise ConnectionError(
+                f"cache server {self.endpoint} speaks protocol "
+                f"{reply.get('protocol')}, client speaks {PROTOCOL_VERSION}"
+            )
+        if reply.get("stamp") != bug_registry_stamp():
+            # Same rule as a shared directory: results recorded under a
+            # different bug registry (or cache schema) must not be
+            # served.  Refusing the store beats silently-wrong hits.
+            sock.close()
+            raise ConnectionError(
+                f"cache server {self.endpoint} serves a different "
+                "bug-registry/schema stamp; refusing the shared store"
+            )
+        self._sock = sock
+        return sock
+
+    def _request(self, frame: dict) -> Optional[dict]:
+        """One op round-trip; None when the server is (now) unreachable."""
+        with self._lock:
+            for attempt in (0, 1):
+                try:
+                    sock = self._ensure_connection()
+                except (OSError, ConnectionError) as error:
+                    self._mark_broken(error)
+                    return None
+                if sock is None:
+                    return None
+                try:
+                    send_frame(sock, frame)
+                    return recv_frame(sock)
+                except (OSError, ConnectionError) as error:
+                    # Drop the connection; one redial covers a server
+                    # restart, anything more is an outage.
+                    self._sock = None
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                    if attempt:
+                        self._mark_broken(error)
+            return None
+
+    def _mark_broken(self, error: BaseException) -> None:
+        if not self._broken:
+            self._broken = True
+            warnings.warn(
+                f"shared cache {self.endpoint} unreachable ({error}); "
+                "continuing without it",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    # ------------------------------------------------------------------
+    # CacheStore protocol
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[RunResult]:
+        """The stored result for ``key``, or None on a miss."""
+        obs = obs_runtime.current()
+        result = self._memory.get(key)
+        if result is None:
+            reply = self._request({"op": "get", "key": key})
+            if reply is not None and reply.get("ok") and reply.get("found"):
+                try:
+                    result = decode_payload(reply["result"])
+                except Exception:
+                    result = None
+                if result is not None:
+                    self._memory[key] = result
+        if result is None:
+            self.misses += 1
+            if obs is not None:
+                obs.metrics.counter("cache.misses").inc()
+            return None
+        self.hits += 1
+        if obs is not None:
+            obs.metrics.counter("cache.hits").inc()
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` (last write wins, server-side)."""
+        obs = obs_runtime.current()
+        if obs is not None:
+            obs.metrics.counter("cache.puts").inc()
+        self._memory[key] = result
+        self.puts += 1
+        reply = self._request(
+            {"op": "put", "key": key, "result": encode_payload(result)}
+        )
+        if reply is None or not reply.get("ok"):
+            self.dropped += 1
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        reply = self._request({"op": "get", "key": key})
+        return bool(reply is not None and reply.get("ok") and reply.get("found"))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def keys(self):
+        """Keys fetched or stored by *this* client, sorted (the
+        determinism tests compare these across backends)."""
+        return sorted(self._memory)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Client-local hit/miss/put counters plus the memo size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memory),
+            "puts": self.puts,
+            "dropped": self.dropped,
+        }
+
+    def server_stats(self) -> Optional[Dict[str, int]]:
+        """The server-side store's counters (None when unreachable)."""
+        reply = self._request({"op": "stats"})
+        if reply is None or not reply.get("ok"):
+            return None
+        return dict(reply.get("stats", {}))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

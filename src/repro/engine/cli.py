@@ -1,8 +1,21 @@
-"""``python -m repro.engine``: run a campaign grid from the command line.
+"""``python -m repro.engine``: campaign grids, service mode, workers.
 
-Builds the (firmware x workload x strategy x budget) matrix from the
-flags, shards it across worker processes, streams one progress line per
-finished campaign, and prints (or writes) a JSON summary.
+The default invocation runs a campaign grid in-process: build the
+(firmware x workload x strategy x budget) matrix from the flags, shard
+it across worker processes, stream one progress line per finished
+campaign, and print (or write) a JSON summary.  Subcommands run the
+same matrices through the distributed fabric:
+
+``serve``
+    Start the campaign service daemon (FIFO job queue, JSONL record
+    streaming to any number of clients).
+``submit``
+    Submit a matrix to a running service and follow its record stream.
+``status``
+    Print a running service's job table.
+``worker``
+    Serve simulations of one grid cell's context to remote-backend
+    controllers (``--backend remote:host:port``).
 
 Examples
 --------
@@ -22,6 +35,13 @@ faults, with the separation-aware SABRE dequeue::
     python -m repro.engine --workload convoy \
         --vehicle firmware=ardupilot --vehicle firmware=px4,airframe=solo \
         --traffic-faults --separation-aware --strategy avis --budget 20
+
+Service mode (daemon, then two submissions from other shells)::
+
+    python -m repro.engine serve --port 7800 --stream service.jsonl
+    python -m repro.engine submit --address 127.0.0.1:7800 \
+        --strategy random --budget 6
+    python -m repro.engine status --address 127.0.0.1:7800
 """
 
 from __future__ import annotations
@@ -30,17 +50,27 @@ import argparse
 import json
 import os
 import sys
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.config import RunConfiguration, VehicleSpec
-from repro.core.strategies import (
-    AvisStrategy,
-    BayesianFaultInjection,
-    BreadthFirstSearch,
-    DepthFirstSearch,
-    RandomInjection,
-    StratifiedBFI,
+# Matrix vocabulary and expansion live in repro.engine.api; re-exported
+# here because this module was their historical home.
+from repro.engine.api import (  # noqa: F401  (re-exports)
+    AIRFRAMES,
+    BURST_STRATEGIES,
+    FIRMWARES,
+    FIXED_FLEET_WORKLOADS,
+    FLEET_WORKLOADS,
+    STEPPERS,
+    STRATEGIES,
+    TRAFFIC_STRATEGIES,
+    WORKLOADS,
+    CampaignClient,
+    CampaignRequest,
+    ServiceError,
+    parse_vehicle_spec,
 )
+from repro.engine.api import build_cells as _expand_request
+from repro.engine.backends import BACKEND_SPEC_HELP, parse_backend_spec
 from repro.engine.grid import (
     CampaignGrid,
     GridCell,
@@ -50,93 +80,21 @@ from repro.engine.grid import (
 )
 from repro.obs.metrics import merge_snapshots
 from repro.obs.runtime import Observability, observed
-from repro.firmware.ardupilot import ArduPilotFirmware
-from repro.firmware.px4 import Px4Firmware
-from repro.sim.vehicle import IRIS_QUADCOPTER, SOLO_QUADCOPTER
-from repro.workloads.builtin import (
-    AutoWorkload,
-    PositionHoldBoxWorkload,
-    WaypointFenceWorkload,
-)
-from repro.workloads.fleet import (
-    ConvoyFollowWorkload,
-    CrossingPathsWorkload,
-    MultiPadTakeoffLandWorkload,
-)
 
-FIRMWARES = {"ardupilot": ArduPilotFirmware, "px4": Px4Firmware}
-
-AIRFRAMES = {"iris": IRIS_QUADCOPTER, "solo": SOLO_QUADCOPTER}
-
-#: Workloads that need a fleet, mapped to the minimum fleet size each
-#: implies (taken from the workload classes so the CLI cannot drift).
-FLEET_WORKLOADS = {
-    "convoy": ConvoyFollowWorkload.fleet_size,
-    "crossing": CrossingPathsWorkload.fleet_size,
-    # Multi-pad scales to whatever --fleet-size asks for; two vehicles is
-    # the smallest fleet its constructor accepts.
-    "multi-pad": 2,
-}
-
-#: Fleet workloads whose choreography flies a fixed number of vehicles;
-#: any other --fleet-size would provision vehicles that never fly.
-FIXED_FLEET_WORKLOADS = {
-    "convoy": ConvoyFollowWorkload.fleet_size,
-    "crossing": CrossingPathsWorkload.fleet_size,
-}
-
-STRATEGIES: Dict[str, Callable[[], object]] = {
-    "avis": AvisStrategy,
-    "stratified-bfi": StratifiedBFI,
-    "bfi": BayesianFaultInjection,
-    "random": RandomInjection,
-    "depth-first": DepthFirstSearch,
-    "breadth-first": BreadthFirstSearch,
-}
-
-#: Strategies that draw from ``session.injectable_failures`` and can
-#: therefore explore the coordination fault space.  The BFI family
-#: scores candidates through a sensor-typed model and the exhaustive
-#: enumerators eagerly materialise every failure subset, so a
-#: ``--traffic-faults`` grid restricted to these strategies is the
-#: honest option: a cell tagged ``+traffic`` really injects them.
-TRAFFIC_STRATEGIES = frozenset({"avis", "random"})
-
-#: Strategies that can sweep intermittent (recovering) fault windows
-#: next to the latched faults; ``--burst-duration`` is rejected for any
-#: other strategy so a cell tagged ``+burst`` really explores bursts.
-BURST_STRATEGIES = frozenset({"avis", "stratified-bfi", "bfi"})
+SUBCOMMANDS = ("serve", "submit", "status", "worker")
 
 
-def _workload_factory(name: str, altitude: float, box_side: float, fleet_size: int):
-    if name == "auto":
-        return lambda: AutoWorkload(altitude=altitude)
-    if name == "waypoint":
-        return lambda: WaypointFenceWorkload(altitude=altitude, box_side=box_side)
-    if name == "poshold":
-        return lambda: PositionHoldBoxWorkload(altitude=altitude, box_side=box_side)
-    if name == "convoy":
-        return lambda: ConvoyFollowWorkload()
-    if name == "crossing":
-        return lambda: CrossingPathsWorkload()
-    if name == "multi-pad":
-        return lambda: MultiPadTakeoffLandWorkload(fleet_size=max(fleet_size, 2))
-    raise ValueError(f"unknown workload '{name}'")
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.engine",
-        description="Shard a (firmware x workload x strategy x budget) "
-        "campaign matrix across worker processes.",
-    )
+def add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
+    """The campaign-matrix flags, shared by the grid path, ``submit``
+    and ``worker`` -- one flag vocabulary, one expansion
+    (:func:`repro.engine.api.build_cells`)."""
     parser.add_argument(
         "--firmware", nargs="+", choices=sorted(FIRMWARES), default=["ardupilot"],
         help="firmware flavours to check",
     )
     parser.add_argument(
         "--workload", nargs="+",
-        choices=["auto", "waypoint", "poshold", "convoy", "crossing", "multi-pad"],
+        choices=list(WORKLOADS),
         default=["waypoint"],
         help="workloads to fly (convoy/crossing/multi-pad need --fleet-size >= 2)",
     )
@@ -178,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         f"enumerate burst windows ({'/'.join(sorted(BURST_STRATEGIES))}).",
     )
     parser.add_argument(
-        "--stepper", choices=["reference", "soa", "adaptive"],
+        "--stepper", choices=list(STEPPERS),
         default="reference",
         help="simulation stepping mode for every cell: 'reference' is "
         "the classic per-vehicle lock-step loop, 'soa' the batched "
@@ -204,13 +162,42 @@ def build_parser() -> argparse.ArgumentParser:
         "Default: the AvisStrategy default (6). "
         "Only the 'avis' strategy consumes this.",
     )
+    parser.add_argument("--profiling-runs", type=int, default=2)
+    parser.add_argument("--altitude", type=float, default=15.0)
+    parser.add_argument("--box-side", type=float, default=15.0)
+
+
+def add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
+    """The execution-fabric flags: where cells run and cache."""
+    fabric = parser.add_argument_group("execution fabric")
+    fabric.add_argument(
+        "--backend", metavar="SPEC", default="serial",
+        help="execution backend for every cell's campaign engine: "
+        + BACKEND_SPEC_HELP,
+    )
+    fabric.add_argument(
+        "--cache", metavar="SPEC", default=None,
+        help="shared result cache: a directory path, or "
+        "'remote:HOST:PORT' naming a cache server "
+        "(python -c 'from repro.engine.cache_remote import ...'); "
+        "default: a private in-memory cache per cell",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Shard a (firmware x workload x strategy x budget) "
+        "campaign matrix across worker processes.  Subcommands "
+        f"({', '.join(SUBCOMMANDS)}) run the same matrices through the "
+        "campaign service and remote workers.",
+    )
+    add_matrix_arguments(parser)
+    add_fabric_arguments(parser)
     parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: CPU count, capped at 4)",
     )
-    parser.add_argument("--profiling-runs", type=int, default=2)
-    parser.add_argument("--altitude", type=float, default=15.0)
-    parser.add_argument("--box-side", type=float, default=15.0)
     parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the JSON summary here instead of stdout",
@@ -252,232 +239,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _burst_durations(args: argparse.Namespace) -> Tuple[float, ...]:
-    """The requested burst windows (empty when the flag is absent)."""
-    return tuple(args.burst_duration) if args.burst_duration else ()
+def request_from_args(args: argparse.Namespace) -> CampaignRequest:
+    """The :class:`CampaignRequest` a flag namespace describes.
 
-
-def _strategy_factory(strategy_name: str, args: argparse.Namespace):
-    """The per-cell strategy factory, honouring the SABRE/burst knobs."""
-    bursts = _burst_durations(args)
-    if strategy_name == "avis" and (
-        args.per_dequeue is not None
-        or args.traffic_faults
-        or args.separation_aware
-        or bursts
-    ):
-        kwargs = dict(
-            include_traffic_faults=args.traffic_faults,
-            separation_aware=args.separation_aware,
-            burst_durations=bursts,
-        )
-        if args.per_dequeue is not None:
-            kwargs["max_scenarios_per_dequeue"] = (
-                None if args.per_dequeue == 0 else args.per_dequeue
-            )
-        return lambda: AvisStrategy(**kwargs)
-    if strategy_name == "stratified-bfi" and bursts:
-        return lambda: StratifiedBFI(burst_durations=bursts)
-    if strategy_name == "bfi" and bursts:
-        return lambda: BayesianFaultInjection(burst_durations=bursts)
-    return STRATEGIES[strategy_name]
-
-
-def _strategy_id(strategy_name: str, args: argparse.Namespace) -> str:
-    """The cell-id fragment for a strategy; default knobs keep the
-    historical ids so existing stream files still resume."""
-    bursts = _burst_durations(args)
-    burst_fragment = (
-        "+burst" + ",".join(f"{duration:g}" for duration in bursts)
-        if bursts and strategy_name in BURST_STRATEGIES
-        else ""
+    This is the flags -> API bridge: everything downstream (expansion,
+    validation, execution) happens on the request, so CLI and service
+    submissions are literally the same code path.
+    """
+    return CampaignRequest(
+        firmwares=tuple(args.firmware),
+        workloads=tuple(args.workload),
+        strategies=tuple(args.strategy),
+        budgets=tuple(args.budget),
+        fleet_size=args.fleet_size,
+        vehicles=tuple(args.vehicle) if args.vehicle else (),
+        traffic_faults=args.traffic_faults,
+        separation_aware=args.separation_aware,
+        burst_durations=(
+            tuple(args.burst_duration) if args.burst_duration else ()
+        ),
+        per_dequeue=args.per_dequeue,
+        stepper=args.stepper,
+        profiling_runs=args.profiling_runs,
+        altitude=args.altitude,
+        box_side=args.box_side,
+        backend=getattr(args, "backend", "serial"),
+        cache=getattr(args, "cache", None),
+        workers=getattr(args, "workers", None),
     )
-    if strategy_name != "avis":
-        return strategy_name + burst_fragment
-    fragment = "avis"
-    if args.per_dequeue is not None:
-        fragment += f"@pd{args.per_dequeue}"
-    if args.separation_aware:
-        fragment += "+sep"
-    return fragment + burst_fragment
-
-
-def parse_vehicle_spec(text: str) -> VehicleSpec:
-    """Parse one ``--vehicle`` value: ``firmware=px4,airframe=solo``."""
-    kwargs = {}
-    for item in text.split(","):
-        item = item.strip()
-        if not item:
-            continue
-        if "=" not in item:
-            raise ValueError(
-                f"--vehicle: expected key=value pairs, got '{item}'"
-            )
-        key, value = (part.strip() for part in item.split("=", 1))
-        if key == "firmware":
-            if value not in FIRMWARES:
-                raise ValueError(
-                    f"--vehicle: unknown firmware '{value}' "
-                    f"(choose from {', '.join(sorted(FIRMWARES))})"
-                )
-            kwargs["firmware_class"] = FIRMWARES[value]
-        elif key == "airframe":
-            if value not in AIRFRAMES:
-                raise ValueError(
-                    f"--vehicle: unknown airframe '{value}' "
-                    f"(choose from {', '.join(sorted(AIRFRAMES))})"
-                )
-            kwargs["airframe"] = AIRFRAMES[value]
-        else:
-            raise ValueError(
-                f"--vehicle: unknown key '{key}' (use firmware/airframe)"
-            )
-    return VehicleSpec(**kwargs)
-
-
-def _vehicle_fleet(args: argparse.Namespace) -> Optional[Tuple[VehicleSpec, ...]]:
-    """The per-vehicle fleet requested via ``--vehicle``, if any."""
-    if not args.vehicle:
-        return None
-    specs = tuple(parse_vehicle_spec(text) for text in args.vehicle)
-    if len(specs) < 2:
-        raise ValueError("--vehicle needs at least two specs (one per fleet member)")
-    return specs
 
 
 def build_cells(args: argparse.Namespace) -> List[GridCell]:
-    vehicles = _vehicle_fleet(args)
-    fleet_size = args.fleet_size
-    if vehicles is not None:
-        if not any(workload in FLEET_WORKLOADS for workload in args.workload):
-            raise ValueError(
-                "--vehicle applies only to fleet workloads "
-                f"({', '.join(sorted(FLEET_WORKLOADS))}); none requested"
-            )
-        if args.fleet_size not in (1, len(vehicles)):
-            raise ValueError(
-                f"--fleet-size {args.fleet_size} disagrees with "
-                f"{len(vehicles)} --vehicle spec(s)"
-            )
-        fleet_size = len(vehicles)
-    elif args.fleet_size != 1 and not any(
-        workload in FLEET_WORKLOADS for workload in args.workload
-    ):
-        raise ValueError(
-            "--fleet-size applies only to fleet workloads "
-            f"({', '.join(sorted(FLEET_WORKLOADS))}); none requested"
-        )
-    if args.traffic_faults and fleet_size < 2 and vehicles is None:
-        raise ValueError(
-            "--traffic-faults needs a fleet (use --fleet-size or --vehicle)"
-        )
-    if args.traffic_faults:
-        unsupported = sorted(set(args.strategy) - TRAFFIC_STRATEGIES)
-        if unsupported:
-            raise ValueError(
-                "--traffic-faults applies only to strategies that explore "
-                f"the coordination fault space "
-                f"({', '.join(sorted(TRAFFIC_STRATEGIES))}); "
-                f"got: {', '.join(unsupported)}"
-            )
-    if args.burst_duration:
-        from repro.hinj.faults import validate_burst_durations
-
-        try:
-            validate_burst_durations(args.burst_duration)
-        except ValueError:
-            raise ValueError("--burst-duration values must be positive seconds")
-        unsupported = sorted(set(args.strategy) - BURST_STRATEGIES)
-        if unsupported:
-            raise ValueError(
-                "--burst-duration applies only to strategies that sweep "
-                f"recovery windows ({', '.join(sorted(BURST_STRATEGIES))}); "
-                f"got: {', '.join(unsupported)}"
-            )
-    if args.per_dequeue is not None:
-        if args.per_dequeue < 0:
-            raise ValueError("--per-dequeue must be >= 0 (0 disables the bound)")
-        if "avis" not in args.strategy:
-            raise ValueError("--per-dequeue applies only to the 'avis' strategy")
-    if args.separation_aware and "avis" not in args.strategy:
-        raise ValueError("--separation-aware applies only to the 'avis' strategy")
-    cells: List[GridCell] = []
-    fleet_cell_ids = set()
-    for firmware_name in args.firmware:
-        for workload_name in args.workload:
-            required_fleet = FLEET_WORKLOADS.get(workload_name, 1)
-            if required_fleet > 1 and fleet_size < required_fleet:
-                raise ValueError(
-                    f"workload '{workload_name}' needs --fleet-size >= {required_fleet}"
-                )
-            if workload_name in FIXED_FLEET_WORKLOADS and (
-                fleet_size != FIXED_FLEET_WORKLOADS[workload_name]
-            ):
-                # Extra vehicles would be provisioned and integrated every
-                # step but never flown -- reject rather than burn budget
-                # on a campaign whose cell id would overstate the fleet.
-                raise ValueError(
-                    f"workload '{workload_name}' flies exactly "
-                    f"{FIXED_FLEET_WORKLOADS[workload_name]} vehicles; "
-                    f"run it with --fleet-size {FIXED_FLEET_WORKLOADS[workload_name]}"
-                )
-            # Classic workloads in a mixed grid always fly solo; only the
-            # fleet workloads consume --fleet-size / --vehicle.
-            is_fleet_cell = required_fleet > 1
-            cell_firmware_id = firmware_name
-            if is_fleet_cell and vehicles is not None:
-                # A --vehicle fleet fully determines the cell's firmware
-                # mix; emit it once rather than once per --firmware.
-                cell_firmware_id = "+".join(
-                    spec.firmware_name for spec in vehicles
-                )
-                config = RunConfiguration(
-                    workload_factory=_workload_factory(
-                        workload_name, args.altitude, args.box_side, fleet_size
-                    ),
-                    vehicles=vehicles,
-                    stepper=args.stepper,
-                )
-            else:
-                config = RunConfiguration(
-                    firmware_class=FIRMWARES[firmware_name],
-                    workload_factory=_workload_factory(
-                        workload_name, args.altitude, args.box_side, fleet_size
-                    ),
-                    fleet_size=fleet_size if is_fleet_cell else 1,
-                    stepper=args.stepper,
-                )
-            workload_id = workload_name
-            if is_fleet_cell:
-                workload_id = f"{workload_name}@fleet{fleet_size}"
-                if args.traffic_faults:
-                    workload_id += "+traffic"
-            if args.stepper != "reference":
-                # Non-default steppers mark the cell id so streams and
-                # resumes distinguish them at a glance ('soa' cells still
-                # *cache*-share with 'reference' -- they are bit-identical).
-                workload_id += f"+{args.stepper}"
-            for strategy_name in args.strategy:
-                for budget in args.budget:
-                    cell_id = (
-                        f"{cell_firmware_id}/{workload_id}/"
-                        f"{_strategy_id(strategy_name, args)}/{budget:g}"
-                    )
-                    if is_fleet_cell and vehicles is not None:
-                        if cell_id in fleet_cell_ids:
-                            continue
-                        fleet_cell_ids.add(cell_id)
-                    cells.append(
-                        GridCell(
-                            cell_id=cell_id,
-                            config=config,
-                            strategy_factory=_strategy_factory(strategy_name, args),
-                            budget_units=budget,
-                            profiling_runs=args.profiling_runs,
-                            traffic_faults=args.traffic_faults and is_fleet_cell,
-                        )
-                    )
-    return cells
+    """Expand a flag namespace into grid cells (kept for callers that
+    grew up with the CLI; new code should build a
+    :class:`CampaignRequest` and call :func:`repro.engine.api.build_cells`)."""
+    return _expand_request(request_from_args(args))
 
 
 def _stats_line(outcome: GridOutcome) -> Optional[str]:
@@ -507,7 +303,7 @@ def _stats_line(outcome: GridOutcome) -> Optional[str]:
     return " | ".join(parts) if parts else None
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _grid_main(argv: Optional[Sequence[str]]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     # Fail fast on every output path: campaigns can run for minutes; an
@@ -523,6 +319,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"{flag}: directory does not exist: {directory}")
         if not os.access(directory, os.W_OK):
             parser.error(f"{flag}: directory is not writable: {directory}")
+    try:
+        parse_backend_spec(args.backend)
+    except ValueError as error:
+        parser.error(f"--backend: {error}")
     stream_path = args.stream
     completed = {}
     if args.resume:
@@ -656,6 +456,199 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         print(summary)
     return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# Subcommands: serve / submit / status / worker
+# ----------------------------------------------------------------------
+def _serve_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine serve",
+        description="Run the campaign service daemon: accept campaign "
+        "requests over TCP, run them one at a time in FIFO order, and "
+        "stream each finished cell's record to watching clients.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (default: an ephemeral port, printed on start)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after N jobs have finished (CI smoke runs use this "
+        "to run a real daemon without having to kill it)",
+    )
+    parser.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="also append every job's records to this JSONL file "
+        "(the --stream/--resume grid format)",
+    )
+    args = parser.parse_args(argv)
+    from repro.engine.service import CampaignService
+
+    service = CampaignService(
+        host=args.host, port=args.port,
+        max_jobs=args.max_jobs, stream_path=args.stream,
+    )
+    print(f"campaign service listening on {service.endpoint}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def _submit_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine submit",
+        description="Submit a campaign matrix to a running service.",
+    )
+    parser.add_argument(
+        "--address", required=True, metavar="HOST:PORT",
+        help="the service endpoint (printed by 'serve' on start)",
+    )
+    add_matrix_arguments(parser)
+    add_fabric_arguments(parser)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="grid shard processes on the service side",
+    )
+    parser.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="append each streamed record to this JSONL file locally",
+    )
+    parser.add_argument(
+        "--no-wait", action="store_true",
+        help="submit and print the job id without following the stream",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-record progress lines"
+    )
+    args = parser.parse_args(argv)
+    try:
+        request = request_from_args(args)
+        client = CampaignClient(args.address)
+        job_id = client.submit(request)
+    except (ServiceError, ValueError, OSError) as error:
+        print(f"submit failed: {error}", file=sys.stderr)
+        return 1
+    print(f"submitted {job_id}", file=sys.stderr)
+    if args.no_wait:
+        print(job_id)
+        return 0
+    records = []
+    stream = open(args.stream, "a", encoding="utf-8") if args.stream else None
+    try:
+        for record in client.watch(job_id):
+            records.append(record)
+            if stream is not None:
+                stream.write(json.dumps(record, sort_keys=True) + "\n")
+                stream.flush()
+            if not args.quiet:
+                print(
+                    f"  done {record['cell']}: {record['simulations']} "
+                    f"simulations, {record['unsafe_scenarios']} unsafe",
+                    file=sys.stderr,
+                )
+    except (ServiceError, OSError) as error:
+        print(f"{job_id} failed: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if stream is not None:
+            stream.close()
+    print(json.dumps({"job": job_id, "records": records},
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def _status_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine status",
+        description="Print a running campaign service's job table.",
+    )
+    parser.add_argument("--address", required=True, metavar="HOST:PORT")
+    parser.add_argument(
+        "--job", default=None, metavar="JOB-ID",
+        help="one job's entry (with its summary once finished)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        reply = CampaignClient(args.address).status(args.job)
+    except (ServiceError, ValueError, OSError) as error:
+        print(f"status failed: {error}", file=sys.stderr)
+        return 1
+    reply.pop("ok", None)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def _worker_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine worker",
+        description="Serve simulations of one grid cell's context to "
+        "remote-backend controllers.  The matrix flags must resolve to "
+        "exactly one cell; the worker profiles the workload itself "
+        "(deterministically, so its context fingerprint matches every "
+        "controller running the same cell) and then serves tasks until "
+        "a controller sends shutdown.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (default: an ephemeral port, printed on start)",
+    )
+    add_matrix_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        cells = build_cells(args)
+    except ValueError as error:
+        parser.error(str(error))
+    if len(cells) != 1:
+        parser.error(
+            f"worker flags must resolve to exactly one cell, got "
+            f"{len(cells)}: {', '.join(cell.cell_id for cell in cells)}"
+        )
+    cell = cells[0]
+    from repro.core.avis import Avis
+    from repro.engine.remote import WorkerServer
+
+    print(f"profiling {cell.cell_id} ...", file=sys.stderr, flush=True)
+    avis = Avis(
+        cell.config,
+        profiling_runs=cell.profiling_runs,
+        budget_units=cell.budget_units,
+        traffic_faults=cell.traffic_faults,
+    )
+    server = WorkerServer(cell.config, avis.monitor, host=args.host,
+                          port=args.port)
+    print(
+        f"worker serving {cell.cell_id} on "
+        f"{server.address[0]}:{server.address[1]} "
+        f"(context {server.fingerprint[:16]})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        handler: Dict[str, object] = {
+            "serve": _serve_main,
+            "submit": _submit_main,
+            "status": _status_main,
+            "worker": _worker_main,
+        }[argv[0]]
+        return handler(argv[1:])
+    return _grid_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -34,10 +34,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.avis import Avis, CampaignResult
 from repro.core.config import RunConfiguration
-from repro.engine.backends import SerialBackend, _fork_available
-from repro.engine.cache import config_fingerprint, workload_fingerprint
+from repro.engine.backends import _fork_available
+from repro.engine.cache import (
+    ResultCache,
+    config_fingerprint,
+    workload_fingerprint,
+)
 from repro.obs import runtime as obs_runtime
 from repro.obs.runtime import Observability, observed
+
+#: Version stamped into every streamed cell record (the ``schema``
+#: field).  Version 1 is the implicit schema of records written before
+#: the field existed; :func:`validate_stream_record` accepts both, and
+#: resume matching stays fingerprint-based, so old stream files keep
+#: resuming.  Bump this when a record key changes meaning or type.
+STREAM_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -64,6 +75,15 @@ class GridCell:
     #: of :func:`cell_fingerprint` -- observing a cell cannot change its
     #: outcome, so it must not invalidate resumable stream records.
     observe: bool = False
+    #: Execution backend spec for the cell's campaign engine ("serial",
+    #: "pool[:N]", "remote:...").  Like ``observe``, never part of
+    #: :func:`cell_fingerprint`: backends are bit-identical by contract,
+    #: so where a cell ran must not invalidate its stream record.
+    backend_spec: str = "serial"
+    #: Result-cache spec: None (private in-memory cache), a directory
+    #: path, or ``"remote:host:port"`` naming a shared cache server.
+    #: Never part of the fingerprint -- caching cannot change outcomes.
+    cache_spec: Optional[str] = None
 
 
 def cell_fingerprint(cell: GridCell) -> str:
@@ -105,6 +125,7 @@ def summarize_campaign(
     written before (or after) either key exist stay resumable.
     """
     summary = {
+        "schema": STREAM_SCHEMA_VERSION,
         "cell": cell_id,
         "fingerprint": fingerprint,
         "firmware": campaign.firmware_name,
@@ -131,6 +152,83 @@ def summarize_campaign(
     if metrics is not None:
         summary["metrics"] = metrics
     return summary
+
+
+#: Keys every streamed cell record must carry, with the types a
+#: well-formed value may take.  ``schema``-less records predate the
+#: version field (schema 1) and are still valid -- resume matching is
+#: fingerprint-based, not schema-based.
+_RECORD_REQUIRED = {
+    "cell": (str,),
+    "fingerprint": (str,),
+    "firmware": (str,),
+    "workload": (str,),
+    "strategy": (str,),
+    "simulations": (int,),
+    "budget_spent": (int, float),
+    "unsafe_scenarios": (int,),
+    "triggered_bugs": (list,),
+}
+
+
+def validate_stream_record(record: object) -> List[str]:
+    """Problems with one streamed cell record (empty when valid).
+
+    Accepts every schema version up to :data:`STREAM_SCHEMA_VERSION`:
+    records without a ``schema`` field are treated as version 1 (the
+    pre-versioning era), so stream files written by older releases
+    validate -- and resume -- unchanged.  A *newer* schema than this
+    code knows is reported, not guessed at.
+    """
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected object"]
+    schema = record.get("schema", 1)
+    if not isinstance(schema, int) or schema < 1:
+        problems.append(f"schema must be a positive integer, got {schema!r}")
+    elif schema > STREAM_SCHEMA_VERSION:
+        problems.append(
+            f"schema {schema} is newer than supported "
+            f"({STREAM_SCHEMA_VERSION}); upgrade to read this stream"
+        )
+    for key, types in _RECORD_REQUIRED.items():
+        if key not in record:
+            problems.append(f"missing key '{key}'")
+        elif record[key] is not None and not isinstance(record[key], types):
+            problems.append(
+                f"key '{key}' is {type(record[key]).__name__}, expected "
+                + "/".join(t.__name__ for t in types)
+            )
+    return problems
+
+
+def validate_campaign_stream(path: str) -> List[str]:
+    """Problems with a streamed campaign JSONL file (empty when valid).
+
+    Validates every line against :func:`validate_stream_record`;
+    ``repro.obs report --validate`` runs this on files it detects as
+    campaign streams (first record carries a ``cell`` key).
+    """
+    problems: List[str] = []
+    records = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                problems.append(f"line {lineno}: invalid JSON ({error})")
+                continue
+            records += 1
+            problems.extend(
+                f"line {lineno}: {problem}"
+                for problem in validate_stream_record(record)
+            )
+    if records == 0:
+        problems.append("no campaign records in stream")
+    return problems
 
 
 def filter_completed(
@@ -186,6 +284,23 @@ def load_completed_cells(path: str) -> Dict[str, dict]:
 _GRID_CELLS: Optional[Sequence[GridCell]] = None
 
 
+def _cell_cache(spec: Optional[str]):
+    """The result-cache store a cell's spec names (None: engine default).
+
+    ``"remote:host:port"`` dials a shared
+    :class:`~repro.engine.cache_remote.CacheServer`; anything else is a
+    cache directory.  Built inside the (possibly forked) worker so each
+    shard holds its own connection/handles.
+    """
+    if spec is None:
+        return None
+    if spec.startswith("remote:"):
+        from repro.engine.cache_remote import RemoteCacheStore
+
+        return RemoteCacheStore(spec[len("remote:"):])
+    return ResultCache(directory=spec)
+
+
 def _run_cell(
     index: int,
 ) -> Tuple[int, CampaignResult, float, dict, Optional[dict]]:
@@ -208,7 +323,8 @@ def _run_cell(
             budget_units=cell.budget_units,
             simulation_cost=cell.simulation_cost,
             labelling_cost=cell.labelling_cost,
-            backend=SerialBackend(),
+            backend=cell.backend_spec,
+            cache=_cell_cache(cell.cache_spec),
             traffic_faults=cell.traffic_faults,
         )
         avis.profile()
@@ -331,6 +447,7 @@ class CampaignGrid:
         stream_path: Optional[str] = None,
         completed: Optional[Dict[str, dict]] = None,
         fingerprints: Optional[Dict[str, str]] = None,
+        on_record: Optional[Callable[[dict], None]] = None,
     ) -> GridOutcome:
         """Execute every cell; ``on_progress`` fires as campaigns finish.
 
@@ -342,7 +459,9 @@ class CampaignGrid:
         are skipped and their streamed summaries reused.  Pass
         ``fingerprints`` (from :meth:`fingerprints`) when the caller has
         already computed them, e.g. to display the resumed count before
-        running.
+        running.  ``on_record`` fires with each finished cell's streamed
+        record (the JSONL schema) -- the campaign service uses it to
+        multiplex live progress to watching clients.
         """
         started = time.perf_counter()
         if fingerprints is None:
@@ -364,7 +483,7 @@ class CampaignGrid:
         try:
             collect = lambda outcome: self._collect(  # noqa: E731
                 outcome, results, cell_seconds, summaries, stream, on_progress,
-                fingerprints,
+                fingerprints, on_record,
             )
             if workers <= 1 or not _fork_available():
                 workers = 1
@@ -417,6 +536,7 @@ class CampaignGrid:
         stream,
         on_progress: Optional[Callable[[str, CampaignResult], None]],
         fingerprints: Dict[str, str],
+        on_record: Optional[Callable[[dict], None]] = None,
     ) -> None:
         index, campaign, seconds, stats, payload = outcome
         cell = self._cells[index]
@@ -447,6 +567,8 @@ class CampaignGrid:
         if stream is not None:
             stream.write(json.dumps(summaries[cell_id], sort_keys=True) + "\n")
             stream.flush()
+        if on_record is not None:
+            on_record(summaries[cell_id])
         if on_progress is not None:
             on_progress(cell_id, campaign)
 

@@ -1,0 +1,372 @@
+"""The campaign service: a daemon that queues and runs campaign jobs.
+
+``python -m repro.engine serve`` turns the in-process campaign path
+into a long-lived endpoint: clients submit :class:`CampaignRequest`
+payloads (``python -m repro.engine submit`` or
+:class:`~repro.engine.api.CampaignClient`), the service expands each
+into the same grid cells the CLI would build, runs jobs one at a time
+in FIFO order, and multiplexes live progress to any number of watching
+clients.
+
+Design points:
+
+* **One scheduler, many listeners.**  Jobs run strictly FIFO on a
+  single scheduler thread -- campaigns already shard across processes
+  internally, so running jobs concurrently would just thrash the
+  machine while destroying the "submitted first, finishes first"
+  property operators rely on.  Client connections are cheap threads
+  that only read the job table.
+* **The wire format is the stream format.**  Watch events carry
+  exactly the JSONL records ``--stream`` writes (schema-stamped,
+  fingerprinted), so a service-streamed file resumes a CLI grid and
+  validates under ``repro.obs report --validate`` -- there is one
+  record schema in the system, not two.
+* **Instrumented, never observing by default.**  Counters
+  (``service.jobs_submitted`` ...) and the queue-depth gauge go to the
+  ambient :mod:`repro.obs` runtime when one is installed and cost
+  nothing when not.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import select
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.api import CampaignRequest, build_cells, run_campaign
+from repro.engine.remote import (
+    PROTOCOL_VERSION,
+    format_address,
+    recv_frame,
+    send_frame,
+)
+from repro.obs import runtime as obs_runtime
+
+SERVICE_NAME = "repro-campaign"
+
+#: Job lifecycle: queued -> running -> done | failed.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted campaign and everything it has produced so far."""
+
+    job_id: str
+    request: dict
+    cells: int
+    state: str = "queued"
+    records: List[dict] = field(default_factory=list)
+    summary: Optional[dict] = None
+    error: Optional[str] = None
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+
+    def describe(self) -> dict:
+        """The JSON row ``status`` returns for this job."""
+        return {
+            "job": self.job_id,
+            "state": self.state,
+            "cells": self.cells,
+            "records": len(self.records),
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+class CampaignService:
+    """A TCP daemon running submitted campaigns in FIFO order.
+
+    ``max_jobs`` bounds the service's lifetime: after that many jobs
+    have finished (done or failed) the service stops accepting work and
+    :meth:`serve_forever` returns -- which is how the CI smoke job runs
+    a real daemon without having to kill it.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_jobs: Optional[int] = None,
+        stream_path: Optional[str] = None,
+    ) -> None:
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self._max_jobs = max_jobs
+        self._stream_path = stream_path
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._cond = threading.Condition()
+        self._stopping = threading.Event()
+        self._finished_jobs = 0
+        self._next_id = 0
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` endpoint."""
+        return self._listener.getsockname()[:2]
+
+    @property
+    def endpoint(self) -> str:
+        """The bound endpoint as a ``host:port`` string."""
+        return format_address(self.address)
+
+    def start(self) -> "CampaignService":
+        """Run the acceptor and scheduler threads (non-blocking)."""
+        if not self._threads:
+            for target, name in (
+                (self._accept_loop, "service-accept"),
+                (self._scheduler_loop, "service-scheduler"),
+            ):
+                thread = threading.Thread(target=target, name=name, daemon=True)
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until the service stops (shutdown op or job limit)."""
+        self.start()
+        self._stopping.wait()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def stop(self) -> None:
+        """Stop accepting and wake every waiter."""
+        self._stopping.set()
+        with self._cond:
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        self.stop()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        self._listener.close()
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Acceptor + per-connection command loop
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,),
+                name="service-client", daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            while not self._stopping.is_set():
+                # Poll with select (not a recv timeout): timing out
+                # mid-frame would desync the stream, whereas select only
+                # fires once the first byte is waiting.
+                try:
+                    ready, _, _ = select.select([connection], [], [], 0.5)
+                except (OSError, ValueError):
+                    return
+                if not ready:
+                    continue
+                try:
+                    frame = recv_frame(connection)
+                    done = self._dispatch(connection, frame)
+                except (ConnectionError, OSError):
+                    return
+                if done:
+                    return
+
+    def _dispatch(self, connection: socket.socket, frame: dict) -> bool:
+        """Handle one client frame; True ends the connection."""
+        op = frame.get("op")
+        if op == "hello":
+            ok = frame.get("protocol") == PROTOCOL_VERSION
+            send_frame(connection, {
+                "ok": ok,
+                "protocol": PROTOCOL_VERSION,
+                "service": SERVICE_NAME,
+                "error": None if ok else (
+                    f"service speaks protocol {PROTOCOL_VERSION}"
+                ),
+            })
+            return not ok
+        if op == "submit":
+            send_frame(connection, self._submit(frame.get("request")))
+            return False
+        if op == "status":
+            send_frame(connection, self._status(frame.get("job")))
+            return False
+        if op == "watch":
+            self._watch(connection, frame.get("job"))
+            return False
+        if op == "shutdown":
+            send_frame(connection, {"ok": True})
+            self.stop()
+            return True
+        send_frame(connection, {"ok": False, "error": f"unknown op '{op}'"})
+        return False
+
+    # ------------------------------------------------------------------
+    def _submit(self, payload: object) -> dict:
+        if self._stopping.is_set():
+            return {"ok": False, "error": "service is shutting down"}
+        if not isinstance(payload, dict):
+            return {"ok": False, "error": "submit needs a request object"}
+        try:
+            request = CampaignRequest.from_dict(payload)
+            cells = build_cells(request)
+        except (TypeError, ValueError) as error:
+            # Reject malformed matrices at submission time -- a queued
+            # job that cannot even expand helps nobody.
+            return {"ok": False, "error": str(error)}
+        with self._cond:
+            self._next_id += 1
+            job = Job(
+                job_id=f"job-{self._next_id:06d}",
+                request=request.to_dict(),
+                cells=len(cells),
+                submitted_at=time.time(),
+            )
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+        self._queue.put(job.job_id)
+        obs = obs_runtime.current()
+        if obs is not None:
+            obs.metrics.counter("service.jobs_submitted").inc()
+            obs.metrics.gauge("service.queue_depth").set(self._queue.qsize())
+        return {"ok": True, "job": job.job_id, "cells": job.cells}
+
+    def _status(self, job_id: Optional[str]) -> dict:
+        with self._cond:
+            if job_id is not None:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return {"ok": False, "error": f"unknown job '{job_id}'"}
+                reply = {"ok": True, "job": job.describe()}
+                if job.summary is not None:
+                    reply["summary"] = job.summary
+                return reply
+            return {
+                "ok": True,
+                "jobs": [self._jobs[jid].describe() for jid in self._order],
+            }
+
+    def _watch(self, connection: socket.socket, job_id: Optional[str]) -> None:
+        with self._cond:
+            job = self._jobs.get(job_id) if job_id else None
+        if job is None:
+            send_frame(connection, {
+                "ok": False, "error": f"unknown job '{job_id}'",
+            })
+            return
+        sent = 0
+        while True:
+            with self._cond:
+                while (
+                    len(job.records) <= sent
+                    and job.state in ("queued", "running")
+                    and not self._stopping.is_set()
+                ):
+                    self._cond.wait(timeout=0.5)
+                fresh = list(job.records[sent:])
+                state = job.state
+                error = job.error
+                summary = job.summary
+            # Send outside the lock: a slow client must never stall the
+            # scheduler or the other watchers.
+            for record in fresh:
+                send_frame(connection, {
+                    "ok": True, "event": "record", "record": record,
+                })
+                sent += 1
+            if state == "done":
+                send_frame(connection, {
+                    "ok": True, "event": "done", "job": job.job_id,
+                    "summary": summary,
+                })
+                return
+            if state == "failed":
+                send_frame(connection, {
+                    "ok": True, "event": "failed", "job": job.job_id,
+                    "error": error,
+                })
+                return
+            if self._stopping.is_set() and state == "queued":
+                send_frame(connection, {
+                    "ok": True, "event": "failed", "job": job.job_id,
+                    "error": "service stopped before the job ran",
+                })
+                return
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _scheduler_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            with self._cond:
+                job = self._jobs[job_id]
+                job.state = "running"
+                self._cond.notify_all()
+            obs = obs_runtime.current()
+            if obs is not None:
+                obs.metrics.gauge("service.queue_depth").set(self._queue.qsize())
+            try:
+                request = CampaignRequest.from_dict(job.request)
+                outcome = run_campaign(
+                    request,
+                    on_record=lambda record: self._record(job, record),
+                )
+                with self._cond:
+                    job.summary = outcome.summary()
+                    job.state = "done"
+                    job.finished_at = time.time()
+                    self._cond.notify_all()
+                if obs is not None:
+                    obs.metrics.counter("service.jobs_completed").inc()
+            except Exception as error:  # a failed job must not kill the daemon
+                with self._cond:
+                    job.error = f"{type(error).__name__}: {error}"
+                    job.state = "failed"
+                    job.finished_at = time.time()
+                    self._cond.notify_all()
+                if obs is not None:
+                    obs.metrics.counter("service.jobs_failed").inc()
+            self._finished_jobs += 1
+            if self._max_jobs is not None and self._finished_jobs >= self._max_jobs:
+                self.stop()
+
+    def _record(self, job: Job, record: dict) -> None:
+        with self._cond:
+            job.records.append(record)
+            self._cond.notify_all()
+        if self._stream_path:
+            # One server-side stream across all jobs: records carry cell
+            # ids and fingerprints, so the file resumes like any other.
+            with open(self._stream_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        obs = obs_runtime.current()
+        if obs is not None:
+            obs.metrics.counter("service.records_streamed").inc()

@@ -182,6 +182,25 @@ def render_text(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _is_campaign_stream(text: str) -> bool:
+    """Whether a file's text is a streamed-campaign JSONL (vs a trace).
+
+    Campaign records carry a ``cell`` key; trace events never do (they
+    have ``ph``/``name``/``ts``).  Only the first parseable line is
+    consulted -- mixed files are validated as whatever they lead with.
+    """
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return False
+        return isinstance(record, dict) and "cell" in record
+    return False
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -206,7 +225,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     report_parser.add_argument(
         "--validate", action="store_true",
-        help="schema-check the trace file and exit non-zero on problems",
+        help="schema-check the input file -- a trace (Chrome JSON or "
+        "JSONL) or a streamed campaign JSONL file (--stream/service "
+        "records) -- and exit non-zero on problems",
     )
     options = parser.parse_args(argv)
 
@@ -218,6 +239,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report_parser.error("--validate needs a trace file")
         with open(options.trace, "r", encoding="utf-8") as handle:
             text = handle.read()
+        if _is_campaign_stream(text):
+            # Campaign record streams (grid --stream / service mode)
+            # validate against the versioned record schema instead of
+            # the Chrome trace schema.
+            from repro.engine.grid import validate_campaign_stream
+
+            problems = validate_campaign_stream(options.trace)
+            if problems:
+                for problem in problems:
+                    print(f"invalid: {problem}")
+                return 1
+            print(f"valid: {options.trace}")
+            if options.metrics is None:
+                return 0
+            report = build_report(None, options.metrics, top=options.top)
+            if options.json:
+                print(json.dumps(report, indent=2, sort_keys=True))
+            else:
+                print(render_text(report))
+            return 0
         if text.lstrip().startswith("{"):
             document = json.loads(text)
         else:

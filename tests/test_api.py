@@ -1,0 +1,201 @@
+"""Tests for the campaign submission API and the public surface."""
+
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro.engine.api import CampaignClient, CampaignRequest, build_cells
+from repro.engine.grid import (
+    STREAM_SCHEMA_VERSION,
+    cell_fingerprint,
+    validate_stream_record,
+)
+
+
+class TestCampaignRequest:
+    def test_defaults_match_the_flagless_cli(self):
+        from repro.engine.cli import build_cells as cli_build_cells
+        from repro.engine.cli import build_parser
+
+        args = build_parser().parse_args([])
+        via_cli = cli_build_cells(args)
+        via_request = CampaignRequest().cells()
+        assert [c.cell_id for c in via_cli] == [c.cell_id for c in via_request]
+        assert [cell_fingerprint(c) for c in via_cli] == [
+            cell_fingerprint(c) for c in via_request
+        ]
+
+    def test_cli_flags_and_request_expand_identically(self):
+        from repro.engine.cli import build_cells as cli_build_cells
+        from repro.engine.cli import build_parser
+
+        argv = [
+            "--firmware", "ardupilot", "px4",
+            "--workload", "convoy", "waypoint",
+            "--strategy", "avis",
+            "--budget", "8", "--fleet-size", "2",
+            "--traffic-faults", "--separation-aware",
+            "--burst-duration", "5",
+            "--backend", "pool:2", "--stepper", "soa",
+        ]
+        args = build_parser().parse_args(argv)
+        via_cli = cli_build_cells(args)
+        request = CampaignRequest(
+            firmwares=("ardupilot", "px4"),
+            workloads=("convoy", "waypoint"),
+            strategies=("avis",),
+            budgets=(8.0,),
+            fleet_size=2,
+            traffic_faults=True,
+            separation_aware=True,
+            burst_durations=(5.0,),
+            backend="pool:2",
+            stepper="soa",
+        )
+        via_request = build_cells(request)
+        assert [c.cell_id for c in via_cli] == [c.cell_id for c in via_request]
+        assert [cell_fingerprint(c) for c in via_cli] == [
+            cell_fingerprint(c) for c in via_request
+        ]
+        assert all(c.backend_spec == "pool:2" for c in via_request)
+
+    def test_round_trips_through_json(self):
+        request = CampaignRequest(
+            strategies=("random",), budgets=(5.0, 10.0),
+            vehicles=("firmware=px4,airframe=solo",),
+            backend="remote:127.0.0.1:7800", cache="remote:127.0.0.1:7801",
+            workers=2,
+        )
+        clone = CampaignRequest.from_json(request.to_json())
+        assert clone == request
+        # JSON spells tuples as lists; __post_init__ restores tuples.
+        assert isinstance(clone.budgets, tuple)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = CampaignRequest(strategies=("random",)).to_dict()
+        payload["from_the_future"] = {"anything": 1}
+        request = CampaignRequest.from_dict(payload)
+        assert request.strategies == ("random",)
+        assert not hasattr(request, "from_the_future")
+
+    def test_fabric_fields_never_enter_fingerprints(self):
+        plain = CampaignRequest(strategies=("random",), budgets=(5.0,))
+        fabricked = CampaignRequest(
+            strategies=("random",), budgets=(5.0,),
+            backend="pool:4", cache="remote:127.0.0.1:7801", workers=3,
+        )
+        assert [cell_fingerprint(c) for c in plain.cells()] == [
+            cell_fingerprint(c) for c in fabricked.cells()
+        ]
+
+    @pytest.mark.parametrize("bad", [
+        dict(firmwares=("betaflight",)),
+        dict(strategies=("simulated-annealing",)),
+        dict(workloads=("convoy",)),  # needs fleet_size >= 2
+        dict(traffic_faults=True),  # needs a fleet workload
+        dict(strategies=("random",), burst_durations=(5.0,)),
+        dict(strategies=("random",), per_dequeue=4),
+        dict(strategies=("random",), separation_aware=True),
+        dict(stepper="rk4"),
+    ])
+    def test_invalid_matrices_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            build_cells(CampaignRequest(**bad))
+
+
+class TestPublicSurface:
+    def test_package_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_engine_all_resolves(self):
+        import repro.engine as engine
+
+        for name in engine.__all__:
+            assert getattr(engine, name) is not None, name
+
+    def test_lazy_exports_are_the_canonical_objects(self):
+        from repro.engine.api import CampaignRequest as canonical
+
+        assert repro.CampaignRequest is canonical
+        with pytest.raises(AttributeError):
+            repro.NoSuchExport
+
+    def test_backend_instance_shim_warns_spec_does_not(self):
+        from repro.engine.backends import SerialBackend
+        from repro.engine.campaign import CampaignEngine
+
+        with pytest.warns(DeprecationWarning, match="backend spec string"):
+            CampaignEngine(backend=SerialBackend())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            CampaignEngine(backend="serial")
+            CampaignEngine()
+
+
+class TestInProcessClient:
+    def test_run_returns_schema_stamped_records(self, tmp_path):
+        stream_path = tmp_path / "run.jsonl"
+        seen = []
+        records = CampaignClient().run(
+            CampaignRequest(strategies=("random",), budgets=(3.0,), workers=1),
+            stream_path=str(stream_path),
+            on_record=seen.append,
+        )
+        assert len(records) == 1 and seen == records
+        record = records[0]
+        assert record["schema"] == STREAM_SCHEMA_VERSION
+        assert record["simulations"] == 3
+        assert validate_stream_record(record) == []
+        streamed = json.loads(stream_path.read_text())
+        assert streamed["fingerprint"] == record["fingerprint"]
+
+    def test_submit_in_process_is_an_error(self):
+        from repro.engine.api import ServiceError
+
+        with pytest.raises(ServiceError):
+            CampaignClient().submit(CampaignRequest())
+
+
+class TestStreamSchema:
+    def test_records_without_schema_are_version_one_and_valid(self):
+        record = {
+            "cell": "ardupilot/waypoint/random/5", "fingerprint": "ab" * 8,
+            "firmware": "ardupilot", "workload": "waypoint",
+            "strategy": "RandomInjection", "simulations": 5,
+            "unsafe_scenarios": 0, "budget_spent": 5,
+            "triggered_bugs": [],
+        }
+        assert validate_stream_record(record) == []
+
+    def test_future_schema_versions_are_reported(self):
+        record = {"schema": STREAM_SCHEMA_VERSION + 1, "cell": "x"}
+        problems = validate_stream_record(record)
+        assert any("schema" in problem for problem in problems)
+
+    def test_resume_accepts_pre_schema_records(self, tmp_path):
+        """--resume keeps working against PR-6-era (schema-less) streams."""
+        from repro.engine.grid import (
+            CampaignGrid,
+            filter_completed,
+            load_completed_cells,
+        )
+
+        request = CampaignRequest(
+            strategies=("random",), budgets=(3.0,), workers=1
+        )
+        records = CampaignClient().run(request)
+        legacy = dict(records[0])
+        legacy.pop("schema")
+        stream_path = tmp_path / "legacy.jsonl"
+        stream_path.write_text(json.dumps(legacy) + "\n")
+
+        cells = request.cells()
+        completed = filter_completed(
+            cells, load_completed_cells(str(stream_path))
+        )
+        assert set(completed) == {cells[0].cell_id}
+        outcome = CampaignGrid(cells, max_workers=1).run(completed=completed)
+        assert outcome.resumed_cells == 1 and not outcome.results

@@ -14,7 +14,6 @@ from repro.core.strategies import (
     StratifiedBFI,
 )
 from repro.core.strategies.avis_strategy import AvisStrategy
-from repro.engine.backends import ProcessPoolBackend, SerialBackend
 from repro.engine.cache import ResultCache, config_fingerprint, scenario_key
 from repro.engine.grid import CampaignGrid, GridCell
 from repro.hinj.faults import FaultScenario, FaultSpec
@@ -260,6 +259,69 @@ class TestCacheGc:
         assert "key-b.pkl" not in names
 
 
+class TestCacheWriterSafety:
+    """A shared cache directory must survive crashed and racing writers."""
+
+    def test_orphan_tmp_spools_are_swept_at_open(self, tmp_path):
+        writer = ResultCache(directory=str(tmp_path))
+        writer.put("key-a", make_run_result())
+        # A writer that died mid-put leaks only its mkstemp spool.
+        (tmp_path / "spoolXYZ.tmp").write_bytes(b"half a pickle")
+        reopened = ResultCache(directory=str(tmp_path))
+        assert not list(tmp_path.glob("*.tmp"))
+        assert reopened.get("key-a") is not None
+
+    def test_torn_entry_is_a_miss_and_unlinked(self, tmp_path):
+        writer = ResultCache(directory=str(tmp_path))
+        writer.put("key-a", make_run_result())
+        # Simulate a torn .pkl from a crashed non-atomic writer (an
+        # older engine): truncate the entry mid-pickle.
+        entry = tmp_path / "key-a.pkl"
+        entry.write_bytes(entry.read_bytes()[:10])
+        reader = ResultCache(directory=str(tmp_path))
+        assert reader.get("key-a") is None
+        assert reader.corrupt == 1
+        assert reader.stats["corrupt"] == 1
+        assert not entry.exists()  # phantom entry unlinked...
+        assert "key-a" not in reader
+        # ...and the next put rewrites it cleanly.
+        reader.put("key-a", make_run_result())
+        assert reader.get("key-a") is not None
+
+    def test_concurrent_writers_never_tear_entries(self, tmp_path):
+        import threading
+
+        result = make_run_result(triggered_bugs=["APM-0001"])
+        errors = []
+
+        def hammer(worker):
+            try:
+                cache = ResultCache(directory=str(tmp_path))
+                for round_index in range(20):
+                    cache.put("contested", result)
+                    got = cache.get(f"probe-{worker}-{round_index}")
+                    assert got is None
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert not list(tmp_path.glob("*.tmp"))
+        # A fresh reader sees one intact winning write, not a torn file.
+        reader = ResultCache(directory=str(tmp_path))
+        restored = reader.get("contested")
+        assert restored is not None
+        assert restored.triggered_bugs == ["APM-0001"]
+        assert reader.corrupt == 0
+
+
 class TestBackendDeterminism:
     def _campaign(self, config, backend, rng_seed=5, budget=5.0):
         avis = Avis(config, profiling_runs=2, budget_units=budget, backend=backend)
@@ -267,10 +329,8 @@ class TestBackendDeterminism:
         return avis.check(strategy=RandomInjection(rng_seed=rng_seed))
 
     def test_process_pool_matches_serial(self, short_auto_config):
-        serial = self._campaign(short_auto_config, SerialBackend())
-        pooled = self._campaign(
-            short_auto_config, ProcessPoolBackend(max_workers=4)
-        )
+        serial = self._campaign(short_auto_config, "serial")
+        pooled = self._campaign(short_auto_config, "pool:4")
         assert pooled.simulations == serial.simulations
         assert pooled.unsafe_scenario_count == serial.unsafe_scenario_count
         assert pooled.triggered_bug_ids == serial.triggered_bug_ids

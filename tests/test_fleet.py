@@ -11,7 +11,6 @@ from repro.core.config import RunConfiguration
 from repro.core.monitor import InvariantMonitor, UnsafeCondition, UnsafeConditionKind
 from repro.core.runner import TestRunner
 from repro.core.strategies import RandomInjection
-from repro.engine.backends import ProcessPoolBackend, SerialBackend
 from repro.engine.cache import (
     config_fingerprint,
     scenario_fingerprint,
@@ -295,11 +294,13 @@ class TestFleetDeterminism:
     def _campaign(self, config, backend, budget=4.0):
         avis = Avis(config, profiling_runs=2, budget_units=budget, backend=backend)
         avis.profile()
-        return avis.check(strategy=RandomInjection(rng_seed=7))
+        result = avis.check(strategy=RandomInjection(rng_seed=7))
+        avis.engine.close()
+        return result
 
     def test_pool_matches_serial_for_fleet_campaigns(self, convoy_config):
-        serial = self._campaign(convoy_config, SerialBackend())
-        pooled = self._campaign(convoy_config, ProcessPoolBackend(max_workers=2))
+        serial = self._campaign(convoy_config, "serial")
+        pooled = self._campaign(convoy_config, "pool:2")
         assert [r.scenario for r in pooled.results] == [
             r.scenario for r in serial.results
         ]

@@ -23,7 +23,6 @@ from repro.core.config import RunConfiguration, VehicleSpec
 from repro.core.monitor import UnsafeConditionKind
 from repro.core.runner import TestRunner
 from repro.core.strategies import AvisStrategy, RandomInjection
-from repro.engine.backends import ProcessPoolBackend, SerialBackend
 from repro.engine.cli import build_cells, build_parser, main, parse_vehicle_spec
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.firmware.px4 import Px4Firmware
@@ -118,14 +117,12 @@ class TestHeterogeneousConvoy:
             )
             avis.profile()
             result = avis.check(strategy=RandomInjection(rng_seed=7))
-            return result, avis.cache.keys()
+            keys = avis.cache.keys()
+            avis.engine.close()
+            return result, keys
 
-        serial_result, serial_keys = campaign(SerialBackend())
-        pool = ProcessPoolBackend(max_workers=2)
-        try:
-            pool_result, pool_keys = campaign(pool)
-        finally:
-            pool.close()
+        serial_result, serial_keys = campaign("serial")
+        pool_result, pool_keys = campaign("pool:2")
         assert [str(r.scenario) for r in pool_result.results] == [
             str(r.scenario) for r in serial_result.results
         ]

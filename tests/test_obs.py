@@ -18,7 +18,6 @@ from repro.core.avis import Avis
 from repro.core.runner import TestRunner
 from repro.core.strategies import RandomInjection
 from repro.core.strategies.avis_strategy import AvisStrategy
-from repro.engine.backends import ProcessPoolBackend
 from repro.hinj.faults import FaultScenario, FaultSpec
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import (
@@ -312,7 +311,11 @@ def _campaign_digest(campaign):
 
 def _run_campaign(config, strategy_factory, budget, backend=None):
     avis = Avis(config, profiling_runs=1, budget_units=budget, backend=backend)
-    return avis.check(strategy=strategy_factory())
+    try:
+        return avis.check(strategy=strategy_factory())
+    finally:
+        # Spec-built backends are engine-owned, so the engine closes them.
+        avis.engine.close()
 
 
 class TestBitIdentity:
@@ -329,14 +332,10 @@ class TestBitIdentity:
 
     def test_pool_matches_serial_with_tracing_on(self, short_auto_config):
         serial = _run_campaign(short_auto_config, RandomInjection, 3.0)
-        backend = ProcessPoolBackend(max_workers=2)
-        try:
-            with observed(Observability()):
-                pooled = _run_campaign(
-                    short_auto_config, RandomInjection, 3.0, backend=backend
-                )
-        finally:
-            backend.close()
+        with observed(Observability()):
+            pooled = _run_campaign(
+                short_auto_config, RandomInjection, 3.0, backend="pool:2"
+            )
         assert _campaign_digest(pooled) == _campaign_digest(serial)
 
     def test_sabre_batched_campaign_identical_with_tracing_on(

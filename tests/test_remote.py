@@ -1,0 +1,402 @@
+"""Tests for the remote execution backend and the shared cache fabric."""
+
+import socket
+import warnings
+
+import pytest
+
+from repro.core.avis import Avis
+from repro.core.strategies import RandomInjection
+from repro.core.strategies.avis_strategy import AvisStrategy
+from repro.engine import backends as backends_module
+from repro.engine.backends import (
+    ProcessPoolBackend,
+    RemoteBackend,
+    SerialBackend,
+    parse_backend_spec,
+    resolve_backend,
+)
+from repro.engine.cache import CacheStore, ResultCache
+from repro.engine.cache_remote import CacheServer, RemoteCacheStore
+from repro.engine import cache_remote as cache_remote_module
+from repro.engine.remote import (
+    ProtocolError,
+    connect_workers,
+    context_fingerprint,
+    decode_payload,
+    encode_payload,
+    format_address,
+    parse_address,
+    recv_frame,
+    send_frame,
+    spawn_loopback_workers,
+)
+from repro.hinj.faults import FaultScenario, FaultSpec
+from repro.sensors.base import SensorId, SensorType
+
+
+def _scenarios(count, start=2.0, step=1.5):
+    return [
+        FaultScenario([FaultSpec(SensorId(SensorType.GPS, 0), start + i * step)])
+        for i in range(count)
+    ]
+
+
+class TestFraming:
+    def _pair(self):
+        server, client = socket.socketpair()
+        server.settimeout(5.0)
+        client.settimeout(5.0)
+        return server, client
+
+    def test_frames_round_trip(self):
+        server, client = self._pair()
+        try:
+            frame = {"op": "task", "index": 3, "payload": "x" * 10_000}
+            send_frame(client, frame)
+            assert recv_frame(server) == frame
+        finally:
+            server.close()
+            client.close()
+
+    def test_truncated_frame_raises_protocol_error(self):
+        server, client = self._pair()
+        try:
+            client.sendall(b"\x00\x00\x00\x10{\"op\"")  # promises 16 bytes
+            client.close()
+            with pytest.raises((ProtocolError, ConnectionError)):
+                recv_frame(server)
+        finally:
+            server.close()
+
+    def test_oversized_frame_rejected(self):
+        server, client = self._pair()
+        try:
+            client.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(ProtocolError):
+                recv_frame(server)
+        finally:
+            server.close()
+            client.close()
+
+    def test_payload_round_trips_scenarios(self):
+        scenario = _scenarios(1)[0]
+        assert decode_payload(encode_payload(scenario)) == scenario
+
+    def test_addresses_round_trip(self):
+        assert parse_address("127.0.0.1:7800") == ("127.0.0.1", 7800)
+        assert format_address(("10.0.0.2", 9)) == "10.0.0.2:9"
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+        with pytest.raises(ValueError):
+            parse_address("host:not-a-number")
+
+
+class TestBackendSpecs:
+    def test_specs_resolve_to_backends(self):
+        assert isinstance(parse_backend_spec("serial"), SerialBackend)
+        pool = parse_backend_spec("pool:3")
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.max_workers == 3
+        assert isinstance(parse_backend_spec("pool"), ProcessPoolBackend)
+        remote = parse_backend_spec("remote:2")
+        assert isinstance(remote, RemoteBackend)
+        assert remote.max_workers == 2
+        addressed = parse_backend_spec("remote:127.0.0.1:7801,127.0.0.1:7802")
+        assert isinstance(addressed, RemoteBackend)
+        assert addressed.max_workers == 2
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "turbo", "pool:0", "pool:x", "remote:", "remote:0",
+         "serial:2", "remote:host"],
+    )
+    def test_bad_specs_are_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_backend_spec(spec)
+
+    def test_resolve_backend_passthrough(self):
+        assert resolve_backend(None) is None
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_instances_still_work_behind_deprecation(self, short_auto_config):
+        backend = SerialBackend()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert resolve_backend(backend) is backend
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        # The spec spelling warns nowhere.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_backend("pool:2")
+        assert not caught
+        # End to end: an instance passed to Avis still runs the campaign.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            avis = Avis(short_auto_config, profiling_runs=2,
+                        budget_units=2.0, backend=SerialBackend())
+            avis.profile()
+            campaign = avis.check(strategy=RandomInjection(rng_seed=1))
+        assert campaign.simulations >= 1
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+
+class TestRemoteDeterminism:
+    """The acceptance bar: remote == pool == serial, bit for bit."""
+
+    def _campaign(self, config, backend, strategy_factory, budget=5.0):
+        avis = Avis(config, profiling_runs=2, budget_units=budget,
+                    backend=backend)
+        avis.profile()
+        campaign = avis.check(strategy=strategy_factory())
+        return campaign, sorted(avis.cache.keys())
+
+    def test_remote_matches_pool_and_serial(self, short_auto_config):
+        factory = lambda: RandomInjection(rng_seed=5)  # noqa: E731
+        serial, serial_keys = self._campaign(
+            short_auto_config, "serial", factory
+        )
+        pooled, pooled_keys = self._campaign(
+            short_auto_config, "pool:2", factory
+        )
+        remote, remote_keys = self._campaign(
+            short_auto_config, "remote:2", factory
+        )
+        for other in (pooled, remote):
+            assert other.simulations == serial.simulations
+            assert other.budget_spent == serial.budget_spent
+            assert other.unsafe_scenario_count == serial.unsafe_scenario_count
+            assert other.triggered_bug_ids == serial.triggered_bug_ids
+            assert [r.scenario for r in other.results] == [
+                r.scenario for r in serial.results
+            ]
+            assert [len(r.unsafe_conditions) for r in other.results] == [
+                len(r.unsafe_conditions) for r in serial.results
+            ]
+        # Identical content-addressed cache keys: the runs really were
+        # the same (config, scenario) pure functions on every fabric.
+        assert pooled_keys == serial_keys
+        assert remote_keys == serial_keys
+
+    def test_sabre_budgets_match_serial(self, short_auto_config):
+        factory = lambda: AvisStrategy()  # noqa: E731
+        serial, serial_keys = self._campaign(
+            short_auto_config, "serial", factory, budget=4.0
+        )
+        remote, remote_keys = self._campaign(
+            short_auto_config, "remote:2", factory, budget=4.0
+        )
+        assert remote.simulations == serial.simulations
+        assert remote.labels == serial.labels
+        assert remote.budget_spent == pytest.approx(serial.budget_spent)
+        assert [r.scenario for r in remote.results] == [
+            r.scenario for r in serial.results
+        ]
+        assert remote_keys == serial_keys
+
+    def test_worker_loss_mid_round_converges(self, short_auto_config):
+        avis = Avis(short_auto_config, profiling_runs=2, budget_units=6.0)
+        monitor = avis.monitor
+        scenarios = _scenarios(6)
+        expected = SerialBackend().run_scenarios(
+            short_auto_config, monitor, scenarios
+        )
+        backend = RemoteBackend(workers=2)
+        killed = []
+
+        def assassinate(index, result):
+            # Hard-kill one worker as soon as the first result lands;
+            # its in-flight task must be requeued on the survivor.
+            if not killed and backend.loopback_workers:
+                backend.loopback_workers[0].kill()
+                killed.append(index)
+
+        try:
+            results = backend.run_scenarios(
+                short_auto_config, monitor, scenarios, on_result=assassinate
+            )
+        finally:
+            backend.close()
+        assert killed, "kill hook never fired"
+        assert len(results) == len(expected)
+        assert [r.scenario for r in results] == [
+            r.scenario for r in expected
+        ]
+        assert [len(r.unsafe_conditions) for r in results] == [
+            len(r.unsafe_conditions) for r in expected
+        ]
+
+    def test_all_workers_dead_falls_back_to_serial(self, short_auto_config):
+        avis = Avis(short_auto_config, profiling_runs=2, budget_units=6.0)
+        monitor = avis.monitor
+        scenarios = _scenarios(4)
+        expected = SerialBackend().run_scenarios(
+            short_auto_config, monitor, scenarios
+        )
+        backend = RemoteBackend(workers=2)
+
+        def massacre(index, result):
+            for worker in backend.loopback_workers:
+                worker.kill()
+
+        try:
+            results = backend.run_scenarios(
+                short_auto_config, monitor, scenarios, on_result=massacre
+            )
+        finally:
+            backend.close()
+        assert [r.scenario for r in results] == [
+            r.scenario for r in expected
+        ]
+
+    def test_fingerprint_mismatch_rejects_worker(self, short_auto_config):
+        avis = Avis(short_auto_config, profiling_runs=2, budget_units=2.0)
+        monitor = avis.monitor
+        workers = spawn_loopback_workers(short_auto_config, monitor, 1)
+        try:
+            fingerprint = context_fingerprint(short_auto_config, monitor)
+            connections, failures = connect_workers(
+                [workers[0].address], "not-the-" + fingerprint,
+                retries=1,
+            )
+            assert not connections
+            assert len(failures) == 1
+            # The same worker still accepts the real fingerprint.
+            connections, failures = connect_workers(
+                [workers[0].address], fingerprint, retries=1
+            )
+            assert len(connections) == 1
+            for connection in connections:
+                connection.close()
+        finally:
+            for worker in workers:
+                worker.close()
+
+    def test_explicit_unreachable_addresses_raise(self, short_auto_config):
+        avis = Avis(short_auto_config, profiling_runs=2, budget_units=2.0)
+        monitor = avis.monitor
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_address = probe.getsockname()
+        backend = RemoteBackend(addresses=[dead_address],
+                                connect_timeout=0.5, retries=1)
+        with pytest.raises(ConnectionError):
+            backend.run_scenarios(
+                short_auto_config, monitor, _scenarios(1)
+            )
+
+
+class TestCacheFabric:
+    def _result(self, short_auto_config):
+        from repro.core.runner import TestRunner
+
+        return TestRunner(short_auto_config).run(FaultScenario([]))
+
+    def test_stores_satisfy_the_protocol(self, tmp_path):
+        assert isinstance(ResultCache(), CacheStore)
+        assert isinstance(ResultCache(directory=str(tmp_path)), CacheStore)
+
+    def test_two_clients_share_one_store(self, short_auto_config, tmp_path):
+        result = self._result(short_auto_config)
+        backing = ResultCache(directory=str(tmp_path))
+        with CacheServer(backing) as server:
+            first = RemoteCacheStore(server.endpoint)
+            second = RemoteCacheStore(server.endpoint)
+            assert isinstance(first, CacheStore)
+            assert first.get("key-1") is None
+            first.put("key-1", result)
+            fetched = second.get("key-1")
+            assert fetched is not None
+            assert fetched.summary() == result.summary()
+            assert "key-1" in second
+            assert first.stats["puts"] == 1
+            assert second.stats["hits"] == 1
+            stats = first.server_stats()
+            assert stats["served_puts"] == 1
+            assert stats["entries"] == 1
+            first.close()
+            second.close()
+        # The backing store persisted the entry for later servers.
+        assert "key-1" in ResultCache(directory=str(tmp_path))
+
+    def test_stamp_mismatch_refuses_the_store(self, monkeypatch, tmp_path):
+        with CacheServer(ResultCache(directory=str(tmp_path))) as server:
+            monkeypatch.setattr(
+                cache_remote_module, "bug_registry_stamp",
+                lambda: "a-different-registry",
+            )
+            with pytest.raises(ConnectionError):
+                RemoteCacheStore(server.endpoint)
+
+    def test_lost_server_degrades_to_misses(self, short_auto_config, tmp_path):
+        result = self._result(short_auto_config)
+        server = CacheServer(ResultCache(directory=str(tmp_path))).start()
+        store = RemoteCacheStore(server.endpoint, connect_timeout=1.0,
+                                 op_timeout=1.0)
+        store.put("key-1", result)
+        server.stop()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            # Memoised entries keep hitting; unknown keys become misses
+            # instead of errors, and puts are dropped, not raised.
+            assert store.get("key-1") is not None
+            assert store.get("key-2") is None
+            store.put("key-3", result)
+        assert store.dropped >= 1
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        store.close()
+
+    def test_campaign_runs_through_shared_cache(self, short_auto_config, tmp_path):
+        with CacheServer(ResultCache(directory=str(tmp_path))) as server:
+            store = RemoteCacheStore(server.endpoint)
+            avis = Avis(short_auto_config, profiling_runs=2,
+                        budget_units=3.0, cache=store)
+            avis.profile()
+            cold = avis.check(strategy=RandomInjection(rng_seed=3))
+            # A second orchestrator sharing the server gets warm hits.
+            warm_store = RemoteCacheStore(server.endpoint)
+            avis_warm = Avis(short_auto_config, profiling_runs=2,
+                             budget_units=3.0, cache=warm_store)
+            avis_warm.profile()
+            warm = avis_warm.check(strategy=RandomInjection(rng_seed=3))
+            assert warm.simulations == cold.simulations
+            assert [r.scenario for r in warm.results] == [
+                r.scenario for r in cold.results
+            ]
+            assert warm_store.hits >= warm.simulations
+            store.close()
+            warm_store.close()
+
+
+class TestRemoteBackendFallbacks:
+    def test_daemonic_process_degrades_to_serial(self, monkeypatch,
+                                                 short_auto_config):
+        avis = Avis(short_auto_config, profiling_runs=2, budget_units=2.0)
+        monitor = avis.monitor
+
+        class FakeDaemon:
+            daemon = True
+
+        monkeypatch.setattr(
+            backends_module.multiprocessing, "current_process",
+            lambda: FakeDaemon(),
+        )
+        backend = RemoteBackend(workers=2)
+        scenarios = _scenarios(2)
+        results = backend.run_scenarios(
+            short_auto_config, monitor, scenarios
+        )
+        expected = SerialBackend().run_scenarios(
+            short_auto_config, monitor, scenarios
+        )
+        assert [r.scenario for r in results] == [
+            r.scenario for r in expected
+        ]
+        assert not backend.loopback_workers
+        backend.close()

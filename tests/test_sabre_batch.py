@@ -12,7 +12,7 @@ cache keys -- at every budget, batch width, and fleet size.
 
 The exhaustive matrix runs against the stub fault space (instant
 "simulations"), real-simulator coverage runs a small budget end to end
-through :class:`SerialBackend` and :class:`ProcessPoolBackend`.
+through the ``"serial"`` and ``"pool:N"`` backend specs.
 """
 
 import dataclasses
@@ -28,7 +28,6 @@ from repro.core.runner import TestRunner
 from repro.core.sabre import SabreSearch
 from repro.core.session import BudgetAccount, ExplorationSession
 from repro.core.strategies import AvisStrategy, BayesianFaultInjection
-from repro.engine.backends import ProcessPoolBackend, SerialBackend
 from repro.firmware.ardupilot import ArduPilotFirmware
 from repro.sensors.suite import iris_sensor_suite
 from repro.workloads.fleet import MultiPadTakeoffLandWorkload
@@ -258,14 +257,13 @@ class TestEndToEnd:
 
     @pytest.mark.parametrize("per_dequeue", [1, 4])
     def test_pool_campaign_matches_sequential(self, short_auto_config, per_dequeue):
-        backend = ProcessPoolBackend(max_workers=4)
+        avis = Avis(
+            short_auto_config,
+            profiling_runs=2,
+            budget_units=self.BUDGET,
+            backend="pool:4",
+        )
         try:
-            avis = Avis(
-                short_auto_config,
-                profiling_runs=2,
-                budget_units=self.BUDGET,
-                backend=backend,
-            )
             avis.profile()
             batched = avis.check(
                 strategy=AvisStrategy(max_scenarios_per_dequeue=per_dequeue)
@@ -305,7 +303,7 @@ class TestEndToEnd:
             if per_dequeue > 1:
                 assert stats["rounds"] < batched.simulations
         finally:
-            backend.close()
+            avis.engine.close()
 
     def test_fleet_pool_campaign_matches_serial(self):
         config = RunConfiguration(
@@ -323,14 +321,11 @@ class TestEndToEnd:
             result = avis.check(
                 strategy=AvisStrategy(max_scenarios_per_dequeue=4)
             )
+            avis.engine.close()
             return result, avis.cache.keys()
 
-        serial_result, serial_keys = campaign(SerialBackend())
-        pool = ProcessPoolBackend(max_workers=4)
-        try:
-            pool_result, pool_keys = campaign(pool)
-        finally:
-            pool.close()
+        serial_result, serial_keys = campaign("serial")
+        pool_result, pool_keys = campaign("pool:4")
 
         assert [str(r.scenario) for r in pool_result.results] == [
             str(r.scenario) for r in serial_result.results
