@@ -186,7 +186,7 @@ class ProcessPoolBackend(ExecutionBackend):
             if held_config is config and held_monitor is monitor:
                 return self._pool
             self.close()
-        global _WORKER_CONTEXT
+        global _WORKER_CONTEXT  # repro-lint: disable=FAB003 -- set immediately before the pool forks so workers inherit the run context
         _WORKER_CONTEXT = (config, monitor)
         try:
             # The pool is created while the context global is set, so

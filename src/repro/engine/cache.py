@@ -30,13 +30,15 @@ from repro.core.config import RunConfiguration
 from repro.core.runner import RunResult
 from repro.hinj.faults import FaultScenario, FaultSpec
 from repro.obs import runtime as obs_runtime
+from repro.sim.environment import default_environment
 
 #: Version of the cached-result schema.  Bumped whenever the recorded
 #: :class:`RunResult` payload or the fingerprint grammar changes shape
 #: (the heterogeneous-fleet refactor added per-vehicle specs and
-#: traffic-fault terms), so cache directories written by an older
-#: engine self-invalidate instead of serving structurally stale hits.
-CACHE_SCHEMA_VERSION = 2
+#: traffic-fault terms; v3 added the non-default environment term), so
+#: cache directories written by an older engine self-invalidate instead
+#: of serving structurally stale hits.
+CACHE_SCHEMA_VERSION = 3
 
 
 def config_fingerprint(config: RunConfiguration, workload_name: str) -> str:
@@ -98,6 +100,22 @@ def config_fingerprint(config: RunConfiguration, workload_name: str) -> str:
     stepper = getattr(config, "stepper", "reference")
     if stepper not in ("reference", "soa"):
         parts.append(f"stepper={stepper}")
+    # The environment shapes every trajectory (wind, obstacles, fences,
+    # ground altitude), so a non-default environment must key its own
+    # cache entries.  The term is emitted only when the factory deviates
+    # from ``default_environment`` so every historical key format is
+    # unperturbed; the factory's *product* is rendered (sorted fields)
+    # because factories themselves have no stable identity.
+    environment_factory = getattr(
+        config, "environment_factory", default_environment
+    )
+    if environment_factory is not default_environment:
+        environment = environment_factory()
+        rendered = ",".join(
+            f"{name}={_canonical(value)}"
+            for name, value in sorted(vars(environment).items())
+        )
+        parts.append(f"environment=[{rendered}]")
     return "|".join(parts)
 
 
@@ -379,7 +397,7 @@ class ResultCache:
         """
         assert self._directory is not None
         try:
-            names = os.listdir(self._directory)
+            names = sorted(os.listdir(self._directory))
         except OSError:
             return
         for name in names:
@@ -403,9 +421,11 @@ class ResultCache:
     def _entry_names(self) -> List[str]:
         assert self._directory is not None
         try:
-            return [
-                name for name in os.listdir(self._directory) if name.endswith(".pkl")
-            ]
+            return sorted(
+                name
+                for name in os.listdir(self._directory)
+                if name.endswith(".pkl")
+            )
         except OSError:
             return []
 

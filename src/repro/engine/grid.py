@@ -490,7 +490,7 @@ class CampaignGrid:
                 for index in pending:
                     collect(_run_cell_local(self._cells, index))
             else:
-                global _GRID_CELLS
+                global _GRID_CELLS  # repro-lint: disable=FAB003 -- set immediately before fork so workers inherit the parent's cells by design
                 _GRID_CELLS = self._cells
                 context = multiprocessing.get_context("fork")
                 try:
@@ -577,7 +577,7 @@ def _run_cell_local(
     cells: Sequence[GridCell], index: int
 ) -> Tuple[int, CampaignResult, float, dict, Optional[dict]]:
     """Serial-path equivalent of :func:`_run_cell` (no global needed)."""
-    global _GRID_CELLS
+    global _GRID_CELLS  # repro-lint: disable=FAB003 -- serial path; saves and restores the slot around the cell run
     previous = _GRID_CELLS
     _GRID_CELLS = cells
     try:

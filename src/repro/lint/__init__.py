@@ -1,0 +1,48 @@
+"""repro.lint: AST-based determinism & fabric-safety analysis.
+
+The repo's whole value proposition is that campaigns are deterministic
+and replayable -- serial == pool == remote bit-for-bit, cache
+fingerprints cover every behaviour-affecting field, observability inert
+by default.  Those invariants were guarded only by runtime equivalence
+tests; this package enforces them *statically*, so the bug classes are
+rejected at lint time instead of bisected out of a flaky nightly.
+
+Rule families
+-------------
+
+``DET`` -- determinism sources.  No wall clocks, entropy, or unseeded
+    global ``random`` inside the simulation core; no unsorted set/dict
+    iteration in any function reachable from a fingerprint / cache-key /
+    label routine; ``os.listdir``/``glob`` results must be sorted.
+``FPR`` -- fingerprint coverage.  Every field of the registered
+    behaviour-bearing dataclasses (``RunConfiguration``, ``FaultSpec``,
+    ``TrafficFaultSpec``, ``VehicleSpec``) must be consumed by its
+    fingerprint routine or exempted, with justification, in
+    :mod:`repro.lint.fingerprint_registry`.
+``OBS`` -- observability hygiene.  Instrumentation must route through
+    the gated runtime (``obs_runtime.current()`` guarded by a None
+    check), eager ``repro.obs`` imports are confined to the runtime
+    module inside the simulation core, and fingerprint paths never
+    touch observability at all.
+``FAB`` -- fabric/concurrency hygiene.  Threads declare ``daemon=``
+    explicitly, no blocking socket operation runs while a lock is held,
+    and worker-imported modules do not rebind module-global state.
+``LNT`` -- analyzer meta rules (waivers without justification, files
+    that fail to parse).
+
+Findings can be waived inline::
+
+    value = risky()  # repro-lint: disable=DET001 -- measured, not hashed
+
+or recorded in a committed baseline file (see :mod:`repro.lint.baseline`).
+The CLI lives at ``python -m repro.lint`` (also installed as
+``repro-lint``).  The package is zero-dependency and pure-stdlib.
+"""
+
+from __future__ import annotations
+
+from repro.lint.driver import LintResult, run_lint
+from repro.lint.findings import Finding
+from repro.lint.registry import all_rules
+
+__all__ = ["Finding", "LintResult", "all_rules", "run_lint"]

@@ -1,0 +1,80 @@
+"""The committed baseline: known findings that do not fail the build.
+
+A baseline entry matches findings by ``(path, rule, symbol, message)``
+-- deliberately *not* by line number, so unrelated edits that shift
+lines never churn the file.  The repo policy (ISSUE 10) is that the
+committed ``lint-baseline.json`` stays empty for ``src/repro``: the
+baseline exists to stage the analyzer onto a dirty tree, not to park
+violations forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename probed in the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+Identity = Tuple[str, str, str, str]
+
+
+def load_baseline(path: str) -> Set[Identity]:
+    """The identities recorded in a baseline file (empty if absent)."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"{path} is not a repro.lint baseline file")
+    identities: Set[Identity] = set()
+    for entry in payload["entries"]:
+        identities.add(
+            (
+                str(entry["path"]),
+                str(entry["rule"]),
+                str(entry.get("symbol", "")),
+                str(entry["message"]),
+            )
+        )
+    return identities
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Set[Identity]
+) -> Tuple[List[Finding], List[Finding], List[Identity]]:
+    """Split findings into (kept, baselined); report unused entries.
+
+    Unused entries are returned (sorted) so the caller can nudge the
+    user to prune them -- a baseline shrinks, it never rots.
+    """
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    used: Set[Identity] = set()
+    for finding in findings:
+        identity = finding.identity()
+        if identity in baseline:
+            suppressed.append(finding)
+            used.add(identity)
+        else:
+            kept.append(finding)
+    return kept, suppressed, sorted(baseline - used)
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Record ``findings`` as the new baseline (sorted, stable)."""
+    entries: List[Dict[str, str]] = []
+    for identity in sorted({f.identity() for f in findings}):
+        entry_path, rule, symbol, message = identity
+        entries.append(
+            {"path": entry_path, "rule": rule, "symbol": symbol, "message": message}
+        )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,162 @@
+"""A best-effort, bare-name call graph over the analyzed modules.
+
+The determinism rules need *reachability*: "is this function on a
+fingerprint path?".  Python's dynamism makes a precise call graph
+impossible statically, so edges are resolved by bare name -- a call to
+``label`` reaches every known function named ``label``.  That
+over-approximates (extra functions get scanned, which at worst produces
+a waivable finding) and never under-approximates for direct calls,
+which is the right trade for an invariant checker.
+
+Fingerprint *roots* are the routines whose output feeds cache keys,
+scenario hashes, stable labels or sort orders; anything they reach must
+be deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.lint.astutil import FunctionNode, function_qualname
+from repro.lint.walker import LintModule
+
+#: Substrings / exact names marking a function as a fingerprint root.
+FINGERPRINT_ROOT_SUBSTRINGS = ("fingerprint", "cache_key")
+FINGERPRINT_ROOT_NAMES = frozenset(
+    {
+        "scenario_key",
+        "key_for",
+        "bug_registry_stamp",
+        "sort_key",
+        "_sort_key",
+        "_spec_sort_key",
+        "label",
+        "failure_label",
+        "__hash__",
+        "_canonical",
+    }
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function/method."""
+
+    module: LintModule
+    qualname: str
+    name: str
+    node: FunctionNode
+    callees: Set[str] = field(default_factory=set)
+
+    @property
+    def is_fingerprint_root(self) -> bool:
+        """True when this function's output feeds keys/hashes/labels."""
+        return (
+            any(part in self.name for part in FINGERPRINT_ROOT_SUBSTRINGS)
+            or self.name in FINGERPRINT_ROOT_NAMES
+        )
+
+
+#: Method names so common on builtin containers/strings that a bare-name
+#: edge through them would connect everything to everything (``d.get``
+#: must not reach every class's ``get``).  Direct ``Name`` calls are
+#: never filtered, so helper *functions* with these names still resolve.
+UBIQUITOUS_METHODS = frozenset(
+    {
+        "get",
+        "pop",
+        "update",
+        "setdefault",
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "clear",
+        "copy",
+        "add",
+        "discard",
+        "keys",
+        "values",
+        "items",
+        "join",
+        "split",
+        "strip",
+        "format",
+        "encode",
+        "decode",
+        "read",
+        "write",
+        "close",
+        "open",
+    }
+)
+
+
+def _called_names(node: FunctionNode) -> Set[str]:
+    """Bare names of everything the function (incl. nested defs) calls."""
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                if func.attr not in UBIQUITOUS_METHODS:
+                    names.add(func.attr)
+    return names
+
+
+class CallGraph:
+    """Bare-name call graph over a set of modules."""
+
+    def __init__(self, modules: Iterable[LintModule]) -> None:
+        self.functions: List[FunctionInfo] = []
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                info = FunctionInfo(
+                    module=module,
+                    qualname=function_qualname(node),
+                    name=node.name,
+                    node=node,
+                    callees=_called_names(node),
+                )
+                self.functions.append(info)
+                self.by_name.setdefault(node.name, []).append(info)
+                # A call spelled with the class name reaches the
+                # constructor chain.
+                if node.name in ("__init__", "__post_init__"):
+                    owner = info.qualname.rsplit(".", 2)
+                    if len(owner) >= 2:
+                        self.by_name.setdefault(owner[-2], []).append(info)
+
+    def fingerprint_roots(self) -> List[FunctionInfo]:
+        """Every fingerprint/cache-key/label/sort routine."""
+        return [fn for fn in self.functions if fn.is_fingerprint_root]
+
+    def reachable_from(
+        self, roots: Iterable[FunctionInfo]
+    ) -> List[FunctionInfo]:
+        """Roots plus everything transitively callable from them."""
+        seen: Set[int] = set()
+        order: List[FunctionInfo] = []
+        stack = list(roots)
+        while stack:
+            fn = stack.pop()
+            if id(fn) in seen:
+                continue
+            seen.add(id(fn))
+            order.append(fn)
+            for name in sorted(fn.callees):
+                for callee in self.by_name.get(name, ()):
+                    if id(callee) not in seen:
+                        stack.append(callee)
+        return order
+
+    def fingerprint_reachable(self) -> List[FunctionInfo]:
+        """Every function on a fingerprint path."""
+        return self.reachable_from(self.fingerprint_roots())

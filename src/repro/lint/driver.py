@@ -1,0 +1,98 @@
+"""The lint driver: collect, check, waive, baseline.
+
+``run_lint`` is the one entry point both the CLI and the test suite use.
+It parses the requested files, builds the call graph once, runs every
+registered rule against the shared :class:`LintContext`, then applies
+inline waivers and the committed baseline.  Everything it returns is
+deterministically ordered -- the analyzer is subject to the same
+bit-identity contract as the code it checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.callgraph import CallGraph, FunctionInfo
+from repro.lint.findings import Finding
+from repro.lint.registry import all_rules
+from repro.lint.waivers import apply_waivers
+from repro.lint.walker import LintModule, collect_modules
+
+
+@dataclass
+class LintContext:
+    """Everything a rule check may consult."""
+
+    modules: List[LintModule]
+    callgraph: CallGraph
+    fingerprint_reachable: List[FunctionInfo]
+
+    @classmethod
+    def build(cls, modules: List[LintModule]) -> "LintContext":
+        graph = CallGraph(modules)
+        return cls(
+            modules=modules,
+            callgraph=graph,
+            fingerprint_reachable=graph.fingerprint_reachable(),
+        )
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    waived: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    unused_baseline: List[Tuple[str, str, str, str]] = field(
+        default_factory=list
+    )
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing fails the run."""
+        return not self.findings and not self.unused_baseline
+
+
+def check_modules(modules: List[LintModule]) -> List[Finding]:
+    """Run every registered rule over already-parsed modules."""
+    context = LintContext.build(modules)
+    findings: List[Finding] = []
+    for rule in all_rules():
+        findings.extend(rule.check(context))
+    return findings
+
+
+def run_lint(
+    paths: Sequence[str],
+    baseline_path: Optional[str] = None,
+    root: Optional[str] = None,
+    files: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint ``paths`` (or an explicit ``files`` list) end to end.
+
+    ``baseline_path`` points at a committed baseline file; ``None``
+    means no baseline is applied.  ``root`` anchors the relative paths
+    findings are reported with (defaults to the working directory).
+    """
+    targets = list(files) if files is not None else list(paths)
+    modules, parse_errors = collect_modules(targets, root=root)
+    raw = check_modules(modules)
+    kept, waived, waiver_meta = apply_waivers(modules, raw)
+    kept.extend(waiver_meta)
+    kept.extend(parse_errors)
+    baselined: List[Finding] = []
+    unused: List[Tuple[str, str, str, str]] = []
+    if baseline_path is not None:
+        known = baseline_mod.load_baseline(baseline_path)
+        kept, baselined, unused = baseline_mod.apply_baseline(kept, known)
+    return LintResult(
+        findings=sorted(kept, key=Finding.order_key),
+        waived=sorted(waived, key=Finding.order_key),
+        baselined=sorted(baselined, key=Finding.order_key),
+        unused_baseline=unused,
+        files_checked=len(modules) + len(parse_errors),
+    )

@@ -1,0 +1,49 @@
+"""The structured finding record every rule emits.
+
+A finding pins a rule id to a source location plus a message.  The
+``symbol`` (enclosing function or field, when known) participates in the
+baseline identity instead of the line number, so committed baselines
+survive unrelated edits that shift lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    family: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    def render(self) -> str:
+        """The one-line text form, ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def order_key(self) -> Tuple[str, int, int, str, str]:
+        """Deterministic display ordering."""
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def identity(self) -> Tuple[str, str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.path, self.rule, self.symbol, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-output form."""
+        return {
+            "rule": self.rule,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }

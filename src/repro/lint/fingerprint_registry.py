@@ -1,0 +1,88 @@
+"""The fingerprint-coverage registry behind the FPR rule family.
+
+The engine's bit-identity contract says a cache key covers *everything*
+a run's outcome depends on.  The recurring bug class is the silent gap:
+a new field lands on :class:`~repro.core.config.RunConfiguration` (or a
+fault spec) and nobody threads it into the fingerprint, so two
+behaviourally different runs share a cache entry.  ``FPR001`` closes
+that gap mechanically: every field of every registered dataclass must
+be *consumed* by its fingerprint routine(s) -- directly, through a
+declared property alias, or through an explicit exemption below.
+
+How consumption is detected
+---------------------------
+
+The rule harvests, from the AST of the registered fingerprint routines,
+every attribute name accessed and every string literal passed to
+``getattr``.  A field is covered when its own name -- or any name it is
+aliased to in :data:`FIELD_ALIASES` -- appears in that harvest.
+
+How to exempt a new non-fingerprinted field
+-------------------------------------------
+
+If a new field genuinely cannot affect a run's recorded outcome (say, a
+display-only annotation), add an entry here rather than waiving at the
+class definition::
+
+    EXEMPTIONS[("RunConfiguration", "display_color")] = (
+        "presentation-only; never read by the simulation or the cache"
+    )
+
+The justification string is mandatory and should say *why* the field
+cannot change what a simulation records.  Prefer threading the field
+into the fingerprint (emitting the term only when the value is
+non-default keeps existing cache keys byte-identical -- the
+``fleet_size`` / ``~duration`` / ``stepper`` terms are the house
+pattern) over exempting it: an exemption is a standing claim the
+analyzer cannot verify.
+
+If a *property* of the class feeds the fingerprint instead of the raw
+field (``firmware_name`` reads ``firmware_class``), declare the mapping
+in :data:`FIELD_ALIASES` so the rule credits the field.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Registered dataclass -> the fingerprint routine(s) that must consume
+#: its fields.  Routines are looked up by bare name, preferring the
+#: module that defines the class, then anywhere in the analyzed tree.
+FINGERPRINT_FUNCTIONS: Dict[str, Tuple[str, ...]] = {
+    "RunConfiguration": (
+        "config_fingerprint",
+        "workload_fingerprint",
+        "campaign_fingerprint",
+    ),
+    "VehicleSpec": ("config_fingerprint",),
+    "FaultSpec": ("scenario_fingerprint",),
+    "TrafficFaultSpec": ("scenario_fingerprint",),
+}
+
+#: Field -> property names whose appearance in the fingerprint counts
+#: as consuming the field.
+FIELD_ALIASES: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "RunConfiguration": {
+        # The scalar firmware aliases render through the flavour name.
+        "firmware_class": ("firmware_name",),
+        # Heterogeneous fleets render per-vehicle terms through these
+        # two properties; homogeneous fleets deliberately omit them.
+        "vehicles": ("vehicle_specs", "is_heterogeneous"),
+    },
+    "VehicleSpec": {
+        "firmware_class": ("firmware_name",),
+    },
+    "TrafficFaultSpec": {
+        # The vehicle-namespaced label folds in the vehicle, the fault
+        # kind and (for DELAY faults) the extra delay.
+        "vehicle": ("label",),
+        "kind": ("label",),
+        "extra_delay_s": ("label",),
+    },
+}
+
+#: (class, field) -> justification for fields deliberately outside the
+#: fingerprint.  Empty for the shipped tree: every behaviour-bearing
+#: field is currently consumed.  See the module docstring before adding
+#: an entry.
+EXEMPTIONS: Dict[Tuple[str, str], str] = {}

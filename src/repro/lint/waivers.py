@@ -1,0 +1,106 @@
+"""Inline waivers: deliberate violations carry their justification.
+
+A waiver comment suppresses named rules on its own line and on the line
+directly below (so a comment can sit above a long statement)::
+
+    global _ACTIVE  # repro-lint: disable=FAB003 -- fork workers inherit it
+
+The justification after ``--`` is mandatory: a waiver without one still
+suppresses the finding (the author clearly meant it) but is itself
+reported as ``LNT001``, so unjustified suppressions cannot accumulate
+silently.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.walker import LintModule
+
+WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(?:\s*--\s*(.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed waiver comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+
+    def covers(self, finding: Finding) -> bool:
+        """True when this waiver suppresses ``finding``."""
+        return finding.rule in self.rules and finding.line in (
+            self.line,
+            self.line + 1,
+        )
+
+
+def waivers_in(module: LintModule) -> List[Waiver]:
+    """Every waiver comment in the module, in line order."""
+    found: List[Waiver] = []
+    for lineno, text in enumerate(module.lines, start=1):
+        match = WAIVER_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            sorted(part.strip() for part in match.group(1).split(","))
+        )
+        found.append(
+            Waiver(
+                line=lineno,
+                rules=rules,
+                justification=(match.group(2) or "").strip(),
+            )
+        )
+    return found
+
+
+def apply_waivers(
+    modules: Iterable[LintModule], findings: Iterable[Finding]
+) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """Split findings into (kept, waived) and report bad waivers.
+
+    Returns ``(kept, waived, meta)`` where ``meta`` holds one ``LNT001``
+    finding per waiver that lacks a justification.
+    """
+    by_path: Dict[str, List[Waiver]] = {}
+    meta: List[Finding] = []
+    for module in modules:
+        module_waivers = waivers_in(module)
+        if module_waivers:
+            by_path[module.display] = module_waivers
+        for waiver in module_waivers:
+            if not waiver.justification:
+                meta.append(
+                    Finding(
+                        rule="LNT001",
+                        family="LNT",
+                        path=module.display,
+                        line=waiver.line,
+                        col=0,
+                        message=(
+                            "waiver for "
+                            + ",".join(waiver.rules)
+                            + " has no justification; append"
+                            " '-- <why this is safe>'"
+                        ),
+                    )
+                )
+    kept: List[Finding] = []
+    waived: List[Finding] = []
+    for finding in findings:
+        if any(
+            waiver.covers(finding)
+            for waiver in by_path.get(finding.path, ())
+        ):
+            waived.append(finding)
+        else:
+            kept.append(finding)
+    return kept, waived, meta

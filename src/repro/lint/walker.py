@@ -1,0 +1,133 @@
+"""File discovery and parsing: the analyzer's view of one module.
+
+Discovery is itself deterministic (directories and files are walked in
+sorted order -- the analyzer practices what it preaches), and every
+parsed module carries the dotted name the package-scoped rules key on.
+The name is normally derived from the path (everything from the last
+``repro`` path component down); a fixture that lives outside the package
+tree can pin it with a directive comment near the top of the file::
+
+    # repro-lint: module=repro.sim.fixture_wall_clock
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+#: Directive pinning a file's dotted module name (fixtures only).
+MODULE_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*module=([A-Za-z_][\w.]*)")
+
+#: How many leading lines are searched for the module directive.
+DIRECTIVE_WINDOW = 10
+
+
+@dataclass
+class LintModule:
+    """One parsed source file plus the metadata rules need."""
+
+    path: str
+    display: str
+    name: str
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def in_package(self, *packages: str) -> bool:
+        """True when this module lives under any of ``packages``."""
+        return any(
+            self.name == package or self.name.startswith(package + ".")
+            for package in packages
+        )
+
+
+def module_name_for(path: str, source: str) -> str:
+    """The dotted module name of ``path`` (directive wins over layout)."""
+    for line in source.splitlines()[:DIRECTIVE_WINDOW]:
+        match = MODULE_DIRECTIVE.search(line)
+        if match:
+            return match.group(1)
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    stem = parts[-1][: -len(".py")] if parts[-1].endswith(".py") else parts[-1]
+    if "repro" in parts[:-1]:
+        anchor = len(parts) - 2 - parts[-2::-1].index("repro")
+        dotted = parts[anchor:-1]
+        if stem != "__init__":
+            dotted.append(stem)
+        return ".".join(dotted)
+    return stem
+
+
+def _annotate_parents(tree: ast.Module) -> None:
+    """Give every node a ``lint_parent`` pointer (rules climb these)."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child.lint_parent = parent  # type: ignore[attr-defined]
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Every ``.py`` file under ``paths``, in sorted walk order."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name for name in dirnames if not name.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.join(dirpath, filename))
+    return found
+
+
+def collect_modules(
+    paths: Iterable[str], root: Optional[str] = None
+) -> Tuple[List[LintModule], List[Finding]]:
+    """Parse every python file under ``paths``.
+
+    Returns the parsed modules plus one ``LNT002`` finding per file that
+    failed to parse (a syntax error must fail the lint run, not crash
+    it).
+    """
+    root = root if root is not None else os.getcwd()
+    modules: List[LintModule] = []
+    errors: List[Finding] = []
+    for path in iter_python_files(paths):
+        display = os.path.relpath(path, root).replace(os.sep, "/")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as error:
+            line = getattr(error, "lineno", None) or 1
+            errors.append(
+                Finding(
+                    rule="LNT002",
+                    family="LNT",
+                    path=display,
+                    line=int(line),
+                    col=0,
+                    message=f"file could not be parsed: {error}",
+                )
+            )
+            continue
+        _annotate_parents(tree)
+        modules.append(
+            LintModule(
+                path=path,
+                display=display,
+                name=module_name_for(path, source),
+                tree=tree,
+                source=source,
+                lines=source.splitlines(),
+            )
+        )
+    return modules, errors

@@ -58,14 +58,14 @@ def current() -> Optional[Observability]:
 
 def install(obs: Observability) -> Observability:
     """Make ``obs`` the process-wide runtime (replacing any prior one)."""
-    global _ACTIVE
+    global _ACTIVE  # repro-lint: disable=FAB003 -- the gate's one process-wide slot; workers deliberately inherit the inert default
     _ACTIVE = obs
     return obs
 
 
 def uninstall() -> None:
     """Return the process to the inert default."""
-    global _ACTIVE
+    global _ACTIVE  # repro-lint: disable=FAB003 -- the gate's one process-wide slot; workers deliberately inherit the inert default
     _ACTIVE = None
 
 
@@ -77,7 +77,7 @@ def observed(obs: Optional[Observability] = None) -> Iterator[Observability]:
     block raises, so tests and grid cells cannot leak instrumentation
     into later work.
     """
-    global _ACTIVE
+    global _ACTIVE  # repro-lint: disable=FAB003 -- the gate's one process-wide slot; restored on exit even when the block raises
     previous = _ACTIVE
     _ACTIVE = obs if obs is not None else Observability()
     try:

@@ -1,0 +1,9 @@
+# repro-lint: module=repro.sim.fixture_wall_clock
+"""Known-bad: a wall-clock read inside the simulation core (DET001)."""
+
+import time
+
+
+def step_duration() -> float:
+    started = time.time()
+    return time.time() - started

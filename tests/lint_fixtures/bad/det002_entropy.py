@@ -1,0 +1,8 @@
+# repro-lint: module=repro.sim.fixture_entropy
+"""Known-bad: an entropy source inside the simulation core (DET002)."""
+
+import uuid
+
+
+def fresh_run_id() -> str:
+    return uuid.uuid4().hex

@@ -1,0 +1,8 @@
+# repro-lint: module=repro.firmware.fixture_random
+"""Known-bad: the unseeded process-global RNG in the core (DET003)."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

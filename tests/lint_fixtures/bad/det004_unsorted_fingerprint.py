@@ -1,0 +1,9 @@
+# repro-lint: module=repro.core.fixture_unsorted
+"""Known-bad: unsorted dict-view iteration on a fingerprint path (DET004)."""
+
+
+def config_fingerprint(values: dict) -> str:
+    parts = []
+    for name in values.keys():
+        parts.append(name)
+    return "|".join(parts)

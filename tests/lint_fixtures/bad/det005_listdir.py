@@ -1,0 +1,11 @@
+# repro-lint: module=repro.engine.fixture_listdir
+"""Known-bad: an unsorted directory listing consumed in order (DET005)."""
+
+import os
+
+
+def entry_names(directory: str) -> list:
+    names = []
+    for name in os.listdir(directory):
+        names.append(name)
+    return names

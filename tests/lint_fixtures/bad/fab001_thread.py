@@ -1,0 +1,10 @@
+# repro-lint: module=repro.engine.fixture_thread
+"""Known-bad: a thread without an explicit daemon= flag (FAB001)."""
+
+import threading
+
+
+def start_worker(target) -> threading.Thread:
+    worker = threading.Thread(target=target, name="worker")
+    worker.start()
+    return worker

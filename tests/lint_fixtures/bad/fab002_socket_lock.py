@@ -1,0 +1,11 @@
+# repro-lint: module=repro.engine.fixture_socket_lock
+"""Known-bad: blocking socket I/O while a lock is held (FAB002)."""
+
+import threading
+
+_send_lock = threading.Lock()
+
+
+def send_payload(sock, payload: bytes) -> None:
+    with _send_lock:
+        sock.sendall(payload)

@@ -1,0 +1,9 @@
+# repro-lint: module=repro.sim.fixture_global
+"""Known-bad: module-global rebinding in a worker-imported module (FAB003)."""
+
+_STATE = None
+
+
+def set_state(value) -> None:
+    global _STATE
+    _STATE = value

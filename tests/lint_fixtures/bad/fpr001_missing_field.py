@@ -1,0 +1,20 @@
+# repro-lint: module=repro.core.fixture_fpr
+"""Known-bad: a registered dataclass field the fingerprint skips (FPR001).
+
+``VehicleSpec`` is one of the registered behaviour-bearing classes; this
+local double declares a ``trim_offset`` field that its local
+``config_fingerprint`` never renders and that has no exemption entry.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VehicleSpec:
+    firmware_class: str
+    airframe: str
+    trim_offset: float
+
+
+def config_fingerprint(spec: VehicleSpec) -> str:
+    return f"firmware={spec.firmware_class}|airframe={spec.airframe}"

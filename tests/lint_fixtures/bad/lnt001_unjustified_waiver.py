@@ -1,0 +1,13 @@
+# repro-lint: module=repro.sim.fixture_waiver
+"""Known-bad: a waiver without a justification (LNT001).
+
+The DET001 finding itself is suppressed (the author clearly meant the
+waiver) but the missing ``-- why`` is reported so silent suppressions
+cannot accumulate.
+"""
+
+import time
+
+
+def wall_clock() -> float:
+    return time.time()  # repro-lint: disable=DET001

@@ -1,0 +1,9 @@
+# repro-lint: module=repro.core.fixture_obs_gate
+"""Known-bad: the obs runtime used without a None gate (OBS001)."""
+
+from repro.obs import runtime as obs_runtime
+
+
+def record_step(step: int) -> None:
+    obs = obs_runtime.current()
+    obs.metrics.counter("steps").inc(step)

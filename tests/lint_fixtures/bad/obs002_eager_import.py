@@ -1,0 +1,6 @@
+# repro-lint: module=repro.sim.fixture_obs_import
+"""Known-bad: an eager non-gate repro.obs import in the core (OBS002)."""
+
+from repro.obs.recorder import FlightLog
+
+__all__ = ["FlightLog"]

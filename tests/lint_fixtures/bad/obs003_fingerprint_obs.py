@@ -1,0 +1,15 @@
+# repro-lint: module=repro.engine.fixture_obs_fpr
+"""Known-bad: a fingerprint routine touching observability (OBS003).
+
+The gate itself is used correctly (guarded), so only OBS003 fires: a
+cache key must neither depend on nor feed the instruments.
+"""
+
+from repro.obs import runtime as obs_runtime
+
+
+def scenario_fingerprint(spec: object) -> str:
+    obs = obs_runtime.current()
+    if obs is not None:
+        obs.metrics.counter("fingerprints").inc()
+    return repr(spec)

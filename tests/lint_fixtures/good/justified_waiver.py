@@ -1,0 +1,12 @@
+# repro-lint: module=repro.sim.fixture_justified
+"""Known-good: a deliberate violation with a justified waiver.
+
+The DET001 finding is suppressed and -- because the waiver carries its
+``-- why`` -- no LNT001 meta finding is emitted either.
+"""
+
+import time
+
+
+def measured_wall_clock() -> float:
+    return time.time()  # repro-lint: disable=DET001 -- measured for display only, never hashed or recorded
